@@ -1,0 +1,80 @@
+//! End-to-end pipeline benchmarks: one bench per paper table/figure (at a
+//! reduced scale), plus the structured-vs-text-log trace-path ablation and
+//! the analysis/feature-extraction stages in isolation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use microsampler_bench::experiments as exp;
+use microsampler_bench::{run_modexp_iterations, Scale};
+use microsampler_core::{analyze, feature_ordering, feature_uniqueness};
+use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_sim::{parse_text_log, CoreConfig, TraceConfig, UnitId};
+
+fn bench_scale() -> Scale {
+    Scale { keys: 2, key_bytes: 1, memcmp_reps: 2, primitive_trials: 16, seed: 13 }
+}
+
+/// One bench per evaluation artifact, so `cargo bench` regenerates the
+/// whole evaluation and reports its cost.
+fn bench_experiments(c: &mut Criterion) {
+    let scale = bench_scale();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("table2_contingency", |b| b.iter(|| exp::table2(black_box(&scale))));
+    group.bench_function("table5_primitive_audit", |b| b.iter(|| exp::table5(black_box(&scale))));
+    group.bench_function("table6_stage_breakdown", |b| b.iter(|| exp::table6(black_box(&scale))));
+    group.bench_function("fig3_me_v1_cv", |b| b.iter(|| exp::fig3(black_box(&scale))));
+    group.bench_function("fig4_me_v1_mv", |b| b.iter(|| exp::fig4(black_box(&scale))));
+    group.bench_function("fig5_uniqueness", |b| b.iter(|| exp::fig5(black_box(&scale))));
+    group.bench_function("fig6_distributions", |b| b.iter(|| exp::fig6(black_box(&scale))));
+    group.bench_function("fig7_me_v2_safe", |b| b.iter(|| exp::fig7(black_box(&scale))));
+    group.bench_function("fig9_fast_bypass", |b| b.iter(|| exp::fig9(black_box(&scale))));
+    group.bench_function("fig10_memcmp", |b| b.iter(|| exp::fig10(black_box(&scale))));
+    group.finish();
+}
+
+fn bench_analysis_stages(c: &mut Criterion) {
+    let iterations = run_modexp_iterations(
+        ModexpVariant::V1CompilerVuln,
+        &CoreConfig::mega_boom(),
+        4,
+        2,
+        21,
+    );
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("correlate_16_units", |b| {
+        b.iter(|| analyze(black_box(&iterations)))
+    });
+    group.bench_function("feature_uniqueness", |b| {
+        b.iter(|| feature_uniqueness(black_box(&iterations), UnitId::SqAddr))
+    });
+    group.bench_function("feature_ordering", |b| {
+        b.iter(|| feature_ordering(black_box(&iterations), UnitId::RobPc))
+    });
+    group.finish();
+}
+
+fn bench_log_parse(c: &mut Criterion) {
+    // Structured-vs-text ablation: parsing cost of the log path.
+    let kernel =
+        microsampler_kernels::modexp::ModexpKernel::new(ModexpVariant::V1CompilerVuln, 1);
+    let key = &microsampler_kernels::inputs::random_keys(1, 1, 5)[0];
+    let program = kernel.program().expect("assembles");
+    let mut machine = microsampler_sim::Machine::with_trace_config(
+        CoreConfig::small_boom(),
+        &program,
+        TraceConfig::default(),
+    );
+    machine.write_mem(program.symbol_addr("key"), key);
+    machine.enable_log();
+    machine.run(50_000_000).expect("runs");
+    let log = machine.log_text().expect("log enabled").to_owned();
+    let mut group = c.benchmark_group("log");
+    group.throughput(criterion::Throughput::Bytes(log.len() as u64));
+    group.bench_function("parse_text_log", |b| {
+        b.iter(|| parse_text_log(black_box(&log), TraceConfig::default()).expect("parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_analysis_stages, bench_log_parse);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Simulator throughput: simulated cycles per second across core sizes
+//! (the paper's linear-scalability claim) and the cost of tracing and of
+//! the fast-bypass option.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microsampler_isa::asm::assemble;
+use microsampler_isa::Program;
+use microsampler_kernels::inputs::random_keys;
+use microsampler_kernels::modexp::{ModexpKernel, ModexpVariant};
+use microsampler_sim::{CoreConfig, Machine, TraceConfig};
+
+/// A compute+memory loop long enough to amortize startup.
+fn workload() -> Program {
+    assemble(
+        r#"
+        .data
+        arr: .zero 4096
+        .text
+        _start:
+            la   s0, arr
+            li   s1, 200          # outer iterations
+        outer:
+            li   t0, 0
+            li   t1, 64
+        inner:
+            slli t2, t0, 3
+            add  t2, t2, s0
+            ld   t3, 0(t2)
+            add  t3, t3, t0
+            mul  t3, t3, s1
+            sd   t3, 0(t2)
+            addi t0, t0, 1
+            blt  t0, t1, inner
+            addi s1, s1, -1
+            bgtz s1, outer
+            ecall
+        "#,
+    )
+    .expect("workload assembles")
+}
+
+fn bench_core_sizes(c: &mut Criterion) {
+    let program = workload();
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for config in [CoreConfig::small_boom(), CoreConfig::mega_boom()] {
+        // Measure simulated cycles once so throughput is meaningful.
+        let mut probe = Machine::new(config.clone(), &program);
+        let cycles = probe.run(50_000_000).expect("workload completes").cycles;
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::new("untraced", config.name), &config, |b, cfg| {
+            b.iter(|| {
+                let mut m = Machine::new(cfg.clone(), &program);
+                m.run(50_000_000).expect("workload completes")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracing_overhead(c: &mut Criterion) {
+    // ME-V1-CV with markers: tracing on is the framework's real cost.
+    let kernel = ModexpKernel::new(ModexpVariant::V1CompilerVuln, 2);
+    let key = &random_keys(1, 2, 9)[0];
+    let program = kernel.program().expect("kernel assembles");
+    let mut group = c.benchmark_group("tracing");
+    group.sample_size(10);
+    group.bench_function("traced_structured", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_trace_config(
+                CoreConfig::mega_boom(),
+                &program,
+                TraceConfig::default(),
+            );
+            m.write_mem(program.symbol_addr("key"), key);
+            m.run(50_000_000).expect("runs")
+        })
+    });
+    group.bench_function("traced_text_log", |b| {
+        b.iter(|| {
+            let mut m = Machine::with_trace_config(
+                CoreConfig::mega_boom(),
+                &program,
+                TraceConfig::default(),
+            );
+            m.write_mem(program.symbol_addr("key"), key);
+            m.enable_log();
+            m.run(50_000_000).expect("runs")
+        })
+    });
+    group.finish();
+}
+
+fn bench_fast_bypass(c: &mut Criterion) {
+    let kernel = ModexpKernel::new(ModexpVariant::V2Safe, 2);
+    let key = &random_keys(1, 2, 11)[0];
+    let mut group = c.benchmark_group("fast_bypass");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("off", CoreConfig::mega_boom()),
+        ("on", CoreConfig::mega_boom().with_fast_bypass()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| kernel.run(cfg.clone(), key, TraceConfig::default()).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_core_sizes, bench_tracing_overhead, bench_fast_bypass);
+criterion_main!(benches);

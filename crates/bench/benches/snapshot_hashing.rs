@@ -1,0 +1,65 @@
+//! Ablation: snapshot hash choice (paper §V-B uses Python's default
+//! SipHash; we compare SipHash-1-3, SipHash-2-4 and an FNV-1a baseline on
+//! realistic iteration snapshots).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use microsampler_stats::SipHasher;
+
+/// A synthetic iteration snapshot: `cycles` rows of `width` u64 features.
+fn snapshot(cycles: usize, width: usize) -> Vec<Vec<u64>> {
+    (0..cycles)
+        .map(|c| (0..width).map(|w| (c as u64).wrapping_mul(0x9E37_79B9) ^ w as u64).collect())
+        .collect()
+}
+
+fn fnv1a_rows(rows: &[Vec<u64>]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for row in rows {
+        for &v in row {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn sip_rows(rows: &[Vec<u64>], sip13: bool) -> u64 {
+    let mut h = if sip13 { SipHasher::new_1_3(1, 2) } else { SipHasher::new_2_4(1, 2) };
+    for row in rows {
+        h.write_u64(row.len() as u64);
+        for &v in row {
+            h.write_u64(v);
+        }
+    }
+    h.finish()
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_hash");
+    for &(cycles, width) in &[(100usize, 32usize), (300, 32), (300, 128)] {
+        let rows = snapshot(cycles, width);
+        let bytes = (cycles * width * 8) as u64;
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(
+            BenchmarkId::new("siphash13", format!("{cycles}x{width}")),
+            &rows,
+            |b, rows| b.iter(|| sip_rows(black_box(rows), true)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("siphash24", format!("{cycles}x{width}")),
+            &rows,
+            |b, rows| b.iter(|| sip_rows(black_box(rows), false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fnv1a", format!("{cycles}x{width}")),
+            &rows,
+            |b, rows| b.iter(|| fnv1a_rows(black_box(rows))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashing);
+criterion_main!(benches);

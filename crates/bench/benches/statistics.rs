@@ -1,0 +1,63 @@
+//! Statistical-stage benchmarks: contingency construction, chi-squared,
+//! Cramér's V (plain vs bias-corrected ablation) and p-values on tables of
+//! growing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use microsampler_stats::{
+    chi_squared, chi_squared_p_value, cramers_v, cramers_v_corrected, ContingencyTable,
+};
+
+fn observations(n: usize, categories: u64) -> Vec<(u64, u64)> {
+    (0..n)
+        .map(|i| {
+            let class = (i % 2) as u64;
+            let hash = (i as u64).wrapping_mul(0x9E37_79B9) % categories + class * 3;
+            (class, hash)
+        })
+        .collect()
+}
+
+fn bench_contingency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contingency");
+    for &n in &[256usize, 1024, 4096] {
+        let obs = observations(n, 64);
+        group.bench_with_input(BenchmarkId::new("build", n), &obs, |b, obs| {
+            b.iter(|| {
+                let t: ContingencyTable<u64, u64> = black_box(obs).iter().copied().collect();
+                t
+            })
+        });
+        let table: ContingencyTable<u64, u64> = obs.iter().copied().collect();
+        group.bench_with_input(BenchmarkId::new("association", n), &table, |b, t| {
+            b.iter(|| black_box(t).association())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chi_squared");
+    for &k in &[8usize, 64, 512] {
+        let rows: Vec<Vec<u64>> = (0..2)
+            .map(|r| (0..k).map(|j| ((r * 31 + j * 7) % 40 + 1) as u64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("statistic", k), &rows, |b, rows| {
+            b.iter(|| chi_squared(black_box(rows)))
+        });
+        let (chi2, dof) = chi_squared(&rows);
+        let n: u64 = rows.iter().flatten().sum();
+        group.bench_function(BenchmarkId::new("p_value", k), |b| {
+            b.iter(|| chi_squared_p_value(black_box(chi2), black_box(dof)))
+        });
+        group.bench_function(BenchmarkId::new("cramers_v", k), |b| {
+            b.iter(|| cramers_v(black_box(chi2), n, 2, k as u64))
+        });
+        group.bench_function(BenchmarkId::new("cramers_v_corrected", k), |b| {
+            b.iter(|| cramers_v_corrected(black_box(chi2), n, 2, k as u64))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contingency, bench_chi2);
+criterion_main!(benches);

@@ -1,0 +1,513 @@
+//! One function per paper table/figure. Every function returns structured
+//! data so the integration tests can assert the paper's shapes and the
+//! `repro` binary can print them.
+
+use crate::{modexp_report, run_modexp_iterations, Scale};
+use microsampler_core::{
+    analyze, feature_ordering, feature_uniqueness, AnalysisReport, Analyzer, UniquenessReport,
+};
+use microsampler_kernels::inputs::{memcmp_pairs, memcmp_schedule};
+use microsampler_kernels::memcmp::MemcmpKernel;
+use microsampler_kernels::modexp::{Fig6Kernel, ModexpKernel, ModexpVariant};
+use microsampler_kernels::openssl::Primitive;
+use microsampler_sim::{parse_text_log, CoreConfig, TraceConfig, UnitId};
+use microsampler_stats::ContingencyTable;
+use std::time::{Duration, Instant};
+
+/// Table I is the paper's qualitative tool-comparison table; returned as
+/// preformatted rows for the `repro` binary.
+pub fn table1() -> Vec<[&'static str; 5]> {
+    vec![
+        ["Tool", "Target", "Algorithm/Compiler", "HW units", "Complex uarch"],
+        ["DATA", "SW (address traces)", "yes", "no", "no"],
+        ["Almeida et al.", "SW (formal)", "yes", "no", "no"],
+        ["IODINE/XENON", "HW (formal, FUs)", "no", "yes", "no"],
+        ["Deutschmann et al.", "HW (formal, abstracted)", "no", "yes", "partial"],
+        ["MicroSampler", "Full system (statistical)", "yes", "yes", "yes"],
+    ]
+}
+
+/// Fig. 2: real microarchitectural iteration snapshots — the SQ-ADDR
+/// matrix (rows = cycles, columns = store-queue slots) for one iteration
+/// of each key-bit class, from a live `ME-V1-MV` run.
+pub fn fig2(scale: &Scale) -> Vec<(u64, Vec<Vec<u64>>)> {
+    let kernel = ModexpKernel::new(ModexpVariant::V1MicroarchVuln, 1);
+    let key = microsampler_kernels::inputs::random_keys(1, 1, scale.seed)
+        .pop()
+        .expect("one key");
+    let trace = TraceConfig { keep_matrices: true, ..TraceConfig::default() };
+    let mut machine = kernel.machine(CoreConfig::mega_boom(), &key, trace).expect("assembles");
+    let result = machine.run(10_000_000).expect("runs");
+    let mut out = Vec::new();
+    for want in [0u64, 1] {
+        if let Some(it) = result.iterations.iter().rev().find(|i| i.label == want) {
+            let rows = it.unit(UnitId::SqAddr).rows.clone().expect("matrices kept");
+            out.push((want, rows));
+        }
+    }
+    out
+}
+
+/// Table II: a real contingency table for SQ-ADDR from the constant-time
+/// square-and-multiply kernel.
+pub fn table2(scale: &Scale) -> ContingencyTable<u64, u64> {
+    let iters = run_modexp_iterations(
+        ModexpVariant::CtCmov,
+        &CoreConfig::mega_boom(),
+        scale.keys.min(4),
+        scale.key_bytes.min(2),
+        scale.seed,
+    );
+    Analyzer::new().contingency(&iters, UnitId::SqAddr, false)
+}
+
+/// Table III is the pair of core configurations themselves.
+pub fn table3() -> (CoreConfig, CoreConfig) {
+    (CoreConfig::mega_boom(), CoreConfig::small_boom())
+}
+
+/// Table IV: the tracked units.
+pub fn table4() -> Vec<UnitId> {
+    UnitId::ALL.to_vec()
+}
+
+/// One row of Table V.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// Primitive name.
+    pub name: String,
+    /// Paper verdict column: leakage identified?
+    pub leak_identified: bool,
+    /// Functional agreement with the reference model.
+    pub functional_ok: bool,
+    /// Highest per-unit Cramér's V observed.
+    pub max_v: f64,
+    /// Escalation rounds used to confirm/clear significance.
+    pub escalation_rounds: usize,
+}
+
+/// Table V: the 27 OpenSSL `constant_time_*` primitives (the
+/// `CRYPTO_memcmp` row comes from [`fig10`], which identifies its leak).
+///
+/// Uses the paper's escalation policy: when a primitive shows strong but
+/// not-yet-significant association, the trial count is increased until the
+/// p-value resolves the verdict.
+pub fn table5(scale: &Scale) -> Vec<Table5Row> {
+    let analyzer = Analyzer::new();
+    Primitive::all()
+        .into_iter()
+        .map(|prim| {
+            let first = prim
+                .run(
+                    CoreConfig::mega_boom(),
+                    scale.primitive_trials,
+                    scale.seed,
+                    TraceConfig::default(),
+                )
+                .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+            let mut functional_ok = first.functional_ok;
+            let outcome = analyzer.analyze_with_escalation(
+                first.result.iterations,
+                4,
+                |round| {
+                    let extra = prim
+                        .run(
+                            CoreConfig::mega_boom(),
+                            scale.primitive_trials * 2,
+                            scale.seed + round as u64 * 7919,
+                            TraceConfig::default(),
+                        )
+                        .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+                    functional_ok &= extra.functional_ok;
+                    extra.result.iterations
+                },
+            );
+            let max_v = outcome
+                .report
+                .units
+                .iter()
+                .map(|u| u.assoc.cramers_v)
+                .fold(0.0f64, f64::max);
+            Table5Row {
+                name: prim.name.to_owned(),
+                leak_identified: outcome.report.is_leaky(),
+                functional_ok,
+                max_v,
+                escalation_rounds: outcome.rounds,
+            }
+        })
+        .collect()
+}
+
+/// Table VI: per-stage analysis-time breakdown, following the paper's
+/// four stages on the text-log pipeline (simulate → parse → correlate →
+/// extract features).
+#[derive(Clone, Debug)]
+pub struct Table6 {
+    /// Stage 1: RTL-style simulation with trace logging.
+    pub simulate: Duration,
+    /// Stage 2: log parsing into iteration snapshots.
+    pub parse: Duration,
+    /// Stage 3: Cramér's V for all tracked structures.
+    pub correlate: Duration,
+    /// Stage 4: feature extraction on flagged units.
+    pub extract: Duration,
+    /// Iterations analyzed.
+    pub iterations: usize,
+    /// Simulated cycles.
+    pub cycles: u64,
+}
+
+impl Table6 {
+    /// Total analysis time.
+    pub fn total(&self) -> Duration {
+        self.simulate + self.parse + self.correlate + self.extract
+    }
+}
+
+/// Runs the Table VI breakdown for `config` at the given scale
+/// (ME-V1-CV workload, like the paper).
+pub fn table6_for(config: &CoreConfig, scale: &Scale) -> Table6 {
+    let kernel = ModexpKernel::new(ModexpVariant::V1CompilerVuln, scale.key_bytes);
+    let keys = microsampler_kernels::inputs::random_keys(
+        scale.keys.min(4),
+        scale.key_bytes,
+        scale.seed,
+    );
+    // Stage 1: simulate with text-log emission (the paper's printf trace).
+    let t0 = Instant::now();
+    let mut logs = Vec::new();
+    let mut cycles = 0;
+    for key in &keys {
+        let mut machine = kernel
+            .machine(config.clone(), key, TraceConfig::default())
+            .expect("kernel assembles");
+        machine.enable_log();
+        let run = machine.run(200_000_000).expect("simulation completes");
+        cycles += run.cycles;
+        logs.push(machine.log_text().expect("log enabled").to_owned());
+    }
+    let simulate = t0.elapsed();
+    // Stage 2: parse logs into iteration snapshots.
+    let t0 = Instant::now();
+    let mut iterations = Vec::new();
+    for log in &logs {
+        iterations.extend(parse_text_log(log, TraceConfig::default()).expect("log parses"));
+    }
+    let parse = t0.elapsed();
+    // Stage 3: correlation analysis.
+    let t0 = Instant::now();
+    let report = analyze(&iterations);
+    let correlate = t0.elapsed();
+    // Stage 4: feature extraction for flagged units.
+    let t0 = Instant::now();
+    for u in report.leaky_units() {
+        let _ = feature_uniqueness(&iterations, u.unit);
+        let _ = feature_ordering(&iterations, u.unit);
+    }
+    let extract = t0.elapsed();
+    Table6 { simulate, parse, correlate, extract, iterations: iterations.len(), cycles }
+}
+
+/// Table VI at the default scale on MegaBoom.
+pub fn table6(scale: &Scale) -> Table6 {
+    table6_for(&CoreConfig::mega_boom(), scale)
+}
+
+/// Table VII: scalability — analysis time and design size for SmallBoom vs
+/// MegaBoom, with XENON's published numbers quoted for comparison.
+#[derive(Clone, Debug)]
+pub struct Table7 {
+    /// SmallBoom breakdown.
+    pub small: Table6,
+    /// MegaBoom breakdown.
+    pub mega: Table6,
+    /// SmallBoom structure-entry count.
+    pub small_size: usize,
+    /// MegaBoom structure-entry count.
+    pub mega_size: usize,
+}
+
+impl Table7 {
+    /// MegaBoom/SmallBoom design-size ratio.
+    pub fn size_ratio(&self) -> f64 {
+        self.mega_size as f64 / self.small_size as f64
+    }
+
+    /// MegaBoom/SmallBoom analysis-time ratio.
+    pub fn time_ratio(&self) -> f64 {
+        self.mega.total().as_secs_f64() / self.small.total().as_secs_f64()
+    }
+}
+
+/// XENON's published scalability (paper Table VII): 8× design size cost
+/// 336× analysis time (2.5 s ALU → 14 min SCARV).
+pub const XENON_SIZE_RATIO: f64 = 8.0;
+/// See [`XENON_SIZE_RATIO`].
+pub const XENON_TIME_RATIO: f64 = 336.0;
+
+/// Runs Table VII.
+pub fn table7(scale: &Scale) -> Table7 {
+    let small = table6_for(&CoreConfig::small_boom(), scale);
+    let mega = table6_for(&CoreConfig::mega_boom(), scale);
+    Table7 {
+        small,
+        mega,
+        small_size: CoreConfig::small_boom().state_size(),
+        mega_size: CoreConfig::mega_boom().state_size(),
+    }
+}
+
+/// Fig. 3: per-unit Cramér's V for `ME-V1-CV` (compiler vulnerability —
+/// nearly everything correlates).
+pub fn fig3(scale: &Scale) -> AnalysisReport {
+    modexp_report(
+        ModexpVariant::V1CompilerVuln,
+        &CoreConfig::mega_boom(),
+        scale.keys,
+        scale.key_bytes,
+        scale.seed,
+    )
+}
+
+/// Fig. 4: per-unit Cramér's V for `ME-V1-MV` (microarchitectural
+/// vulnerability — memory-side units correlate).
+pub fn fig4(scale: &Scale) -> AnalysisReport {
+    modexp_report(
+        ModexpVariant::V1MicroarchVuln,
+        &CoreConfig::mega_boom(),
+        scale.keys,
+        scale.key_bytes,
+        scale.seed,
+    )
+}
+
+/// Fig. 5: SQ-ADDR feature uniqueness for `ME-V1-MV` — the per-class
+/// unique store addresses (the paper's red/blue scatter).
+pub fn fig5(scale: &Scale) -> UniquenessReport {
+    let iters = run_modexp_iterations(
+        ModexpVariant::V1MicroarchVuln,
+        &CoreConfig::mega_boom(),
+        scale.keys,
+        scale.key_bytes,
+        scale.seed,
+    );
+    feature_uniqueness(&iters, UnitId::SqAddr)
+}
+
+/// Fig. 6 data: iteration cycle counts per key-bit class, with the
+/// destination buffer cold (6a) or warmed before each iteration (6b).
+#[derive(Clone, Debug)]
+pub struct Fig6 {
+    /// 6a: `(bit0 cycles, bit1 cycles)` with both buffers cold.
+    pub cold: (Vec<u64>, Vec<u64>),
+    /// 6b: `(bit0 cycles, bit1 cycles)` with dst warmed.
+    pub warm: (Vec<u64>, Vec<u64>),
+}
+
+fn split_cycles(iters: &[microsampler_sim::IterationTrace]) -> (Vec<u64>, Vec<u64>) {
+    let mut c0 = Vec::new();
+    let mut c1 = Vec::new();
+    for it in iters {
+        if it.label == 0 {
+            c0.push(it.cycles());
+        } else {
+            c1.push(it.cycles());
+        }
+    }
+    (c0, c1)
+}
+
+/// Runs Fig. 6 (both sub-figures).
+pub fn fig6(scale: &Scale) -> Fig6 {
+    let keys = microsampler_kernels::inputs::random_keys(
+        scale.keys.min(4),
+        scale.key_bytes,
+        scale.seed,
+    );
+    let run = |warm: bool| {
+        let kernel = Fig6Kernel::new(warm, scale.key_bytes);
+        let mut iters = Vec::new();
+        for key in &keys {
+            let r = kernel.run(CoreConfig::mega_boom(), key).expect("fig6 kernel runs");
+            assert_eq!(r.exit_code, kernel.reference(key), "fig6 functional check");
+            iters.extend(r.iterations);
+        }
+        split_cycles(&iters)
+    };
+    Fig6 { cold: run(false), warm: run(true) }
+}
+
+/// Fig. 7: per-unit Cramér's V for `ME-V2-Safe` (all insignificant).
+pub fn fig7(scale: &Scale) -> AnalysisReport {
+    modexp_report(
+        ModexpVariant::V2Safe,
+        &CoreConfig::mega_boom(),
+        scale.keys,
+        scale.key_bytes,
+        scale.seed,
+    )
+}
+
+/// Fig. 9: `ME-V2-Safe` on the fast-bypass core — the report carries both
+/// the full and the timing-removed associations.
+pub fn fig9(scale: &Scale) -> AnalysisReport {
+    modexp_report(
+        ModexpVariant::V2Safe,
+        &CoreConfig::mega_boom().with_fast_bypass(),
+        scale.keys,
+        scale.key_bytes,
+        scale.seed,
+    )
+}
+
+/// The call patterns the paper reports for `CRYPTO_memcmp` windows
+/// (§VII-C1): which of the dependent functions' PCs were observed in the
+/// ROB during the constant-time function's own window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CallPatterns {
+    /// Windows containing only `inequal` (paper pattern 1).
+    pub inequal_only: usize,
+    /// Windows containing both calls (paper pattern 2 — the transient
+    /// double call).
+    pub both: usize,
+    /// Windows containing only `equal` (paper pattern 3).
+    pub equal_only: usize,
+    /// Windows containing neither.
+    pub neither: usize,
+}
+
+/// Fig. 10 results: the correlation report plus the transient-execution
+/// evidence extracted from ROB-PC.
+#[derive(Clone, Debug)]
+pub struct Fig10 {
+    /// Per-unit associations.
+    pub report: AnalysisReport,
+    /// Call-pattern census over all windows.
+    pub patterns: CallPatterns,
+    /// Whether MicroSampler identified the leak: dependent-call PCs are
+    /// speculatively present inside the constant-time function's window,
+    /// including double-call windows.
+    pub leak_identified: bool,
+    /// Branch mispredicts observed.
+    pub mispredicts: u64,
+    /// ROB-PC ordering mismatches across classes.
+    pub ordering_mismatches: usize,
+}
+
+/// Fig. 10 / the `CT-MEM-CMP` case study.
+///
+/// Uses the paper's input design: 32 fixed pairs with varying (in)equal
+/// byte distributions, the pair index as the class label, repeated in a
+/// shuffled schedule, on a core with randomized initial predictor state
+/// (standing in for the real system's residual predictor contents).
+pub fn fig10(scale: &Scale) -> Fig10 {
+    let pairs = memcmp_pairs(scale.seed);
+    let trials = memcmp_schedule(&pairs, scale.memcmp_reps, scale.seed);
+    let program = MemcmpKernel.program().expect("memcmp assembles");
+    let equal_pc = program.symbol_addr("equal_fn");
+    let inequal_pc = program.symbol_addr("inequal_fn");
+    let config = CoreConfig::mega_boom().with_random_bpred(scale.seed | 1);
+    let (result, outputs) = MemcmpKernel
+        .run_with_outputs(config, &trials, TraceConfig::default())
+        .expect("memcmp runs");
+    for (t, &o) in trials.iter().zip(&outputs) {
+        assert_eq!(o, MemcmpKernel.reference(t), "memcmp functional check");
+    }
+    let mut patterns = CallPatterns::default();
+    for it in &result.iterations {
+        let f = &it.unit(UnitId::RobPc).features;
+        match (f.contains(&equal_pc), f.contains(&inequal_pc)) {
+            (true, true) => patterns.both += 1,
+            (true, false) => patterns.equal_only += 1,
+            (false, true) => patterns.inequal_only += 1,
+            (false, false) => patterns.neither += 1,
+        }
+    }
+    let report = analyze(&result.iterations);
+    let ordering = feature_ordering(&result.iterations, UnitId::RobPc);
+    let speculative_windows = patterns.both + patterns.equal_only + patterns.inequal_only;
+    Fig10 {
+        leak_identified: patterns.both > 0 || (speculative_windows > 0 && report.is_leaky()),
+        report,
+        patterns,
+        mispredicts: result.stats.branch_mispredicts,
+        ordering_mismatches: ordering.mismatches.len(),
+    }
+}
+
+/// One point of the sample-size sensitivity sweep.
+#[derive(Clone, Debug)]
+pub struct SensitivityPoint {
+    /// Number of keys pooled.
+    pub keys: usize,
+    /// Iterations analyzed.
+    pub iterations: usize,
+    /// Highest per-unit V for the leaky kernel (ME-V1-CV).
+    pub leaky_max_v: f64,
+    /// Was the leaky kernel flagged (V and p jointly)?
+    pub leaky_flagged: bool,
+    /// Highest per-unit V for the safe kernel (ME-V2-Safe).
+    pub safe_max_v: f64,
+    /// Was the safe kernel falsely flagged?
+    pub safe_false_positive: bool,
+    /// Does the safe report still demand escalation (strong-but-
+    /// insignificant association)?
+    pub safe_needs_more: bool,
+}
+
+/// Sensitivity ablation (paper §VII-D): how the verdicts evolve with the
+/// number of inputs. With few samples the safe kernel can show high V but
+/// the p-value guard withholds the flag; the leaky kernel's verdict locks
+/// in quickly and stays.
+pub fn sensitivity(scale: &Scale) -> Vec<SensitivityPoint> {
+    let max_v = |r: &AnalysisReport| {
+        r.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max)
+    };
+    [1usize, 2, 4, 8, 16]
+        .iter()
+        .map(|&keys| {
+            let leaky = modexp_report(
+                ModexpVariant::V1CompilerVuln,
+                &CoreConfig::mega_boom(),
+                keys,
+                scale.key_bytes,
+                scale.seed,
+            );
+            let safe = modexp_report(
+                ModexpVariant::V2Safe,
+                &CoreConfig::mega_boom(),
+                keys,
+                scale.key_bytes,
+                scale.seed,
+            );
+            SensitivityPoint {
+                keys,
+                iterations: leaky.iterations,
+                leaky_max_v: max_v(&leaky),
+                leaky_flagged: leaky.is_leaky(),
+                safe_max_v: max_v(&safe),
+                safe_false_positive: safe.is_leaky(),
+                safe_needs_more: safe.needs_more_samples(),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 companion: `ME-V1-MV` under cache pressure (Fig. 6 kernel, cold
+/// buffers). With per-iteration eviction the miss-path units (LFB, NLP,
+/// MSHR, TLB) light up as in the paper's full-scale run.
+pub fn fig4_with_pressure(scale: &Scale) -> AnalysisReport {
+    let keys = microsampler_kernels::inputs::random_keys(
+        scale.keys.min(4),
+        scale.key_bytes,
+        scale.seed,
+    );
+    let kernel = Fig6Kernel::new(false, scale.key_bytes);
+    let mut iters = Vec::new();
+    for key in &keys {
+        let r = kernel.run(CoreConfig::mega_boom(), key).expect("kernel runs");
+        iters.extend(r.iterations);
+    }
+    analyze(&iters)
+}

@@ -1,0 +1,226 @@
+use crate::report::{AnalysisReport, UnitReport};
+use microsampler_sim::{IterationTrace, UnitId};
+use microsampler_stats::ContingencyTable;
+use std::collections::BTreeSet;
+
+/// The statistical analysis driver (paper §V-C).
+///
+/// Thresholds default to the paper's: Cramér's V > 0.5 is "strong",
+/// p < 0.05 is "significant"; both are required for a leak verdict. The
+/// thresholds live on the [`Association`](microsampler_stats::Association)
+/// verdict; the analyzer itself is threshold-free and simply computes the
+/// per-unit associations.
+#[derive(Clone, Debug, Default)]
+pub struct Analyzer {
+    _private: (),
+}
+
+impl Analyzer {
+    /// Creates an analyzer.
+    pub fn new() -> Analyzer {
+        Analyzer { _private: () }
+    }
+
+    /// Builds the contingency table for one unit: classes × snapshot
+    /// hashes (paper Table II). `timeless` selects the timing-removed
+    /// hashes.
+    pub fn contingency(
+        &self,
+        iterations: &[IterationTrace],
+        unit: UnitId,
+        timeless: bool,
+    ) -> ContingencyTable<u64, u64> {
+        let mut table = ContingencyTable::new();
+        for it in iterations {
+            let u = it.unit(unit);
+            table.record(it.label, if timeless { u.hash_timeless } else { u.hash });
+        }
+        table
+    }
+
+    /// Analyzes all sixteen tracked units.
+    pub fn analyze(&self, iterations: &[IterationTrace]) -> AnalysisReport {
+        let classes: BTreeSet<u64> = iterations.iter().map(|i| i.label).collect();
+        let units = UnitId::ALL
+            .iter()
+            .map(|&unit| UnitReport {
+                unit,
+                assoc: self.contingency(iterations, unit, false).association(),
+                assoc_timeless: self.contingency(iterations, unit, true).association(),
+            })
+            .collect();
+        AnalysisReport { units, iterations: iterations.len(), classes: classes.len() }
+    }
+
+    /// Analyzes with input escalation (paper §VII-D): while some unit
+    /// shows strong but not-yet-significant association, request another
+    /// batch of iterations from `more` (rounds are 1-indexed; round 0's
+    /// iterations are passed in `initial`). Stops after `max_rounds`
+    /// escalations or when every strong association is significant.
+    pub fn analyze_with_escalation(
+        &self,
+        initial: Vec<IterationTrace>,
+        max_rounds: usize,
+        mut more: impl FnMut(usize) -> Vec<IterationTrace>,
+    ) -> EscalationOutcome {
+        let mut iterations = initial;
+        let mut report = self.analyze(&iterations);
+        let mut rounds = 0;
+        while report.needs_more_samples() && rounds < max_rounds {
+            rounds += 1;
+            let batch = more(rounds);
+            if batch.is_empty() {
+                break;
+            }
+            iterations.extend(batch);
+            report = self.analyze(&iterations);
+        }
+        EscalationOutcome { report, rounds, total_iterations: iterations.len() }
+    }
+}
+
+/// Result of [`Analyzer::analyze_with_escalation`].
+#[derive(Clone, Debug)]
+pub struct EscalationOutcome {
+    /// The final report.
+    pub report: AnalysisReport,
+    /// Escalation rounds performed (0 = the initial batch sufficed).
+    pub rounds: usize,
+    /// Total iterations analyzed.
+    pub total_iterations: usize,
+}
+
+/// One-call analysis with the default analyzer.
+pub fn analyze(iterations: &[IterationTrace]) -> AnalysisReport {
+    Analyzer::new().analyze(iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_sim::{TraceConfig, Tracer};
+
+    /// Builds synthetic iterations where `unit`'s snapshot is `variant`
+    /// per class when `leak` is true, identical otherwise.
+    fn synthetic(n_per_class: usize, leak_unit: Option<UnitId>) -> Vec<IterationTrace> {
+        let mut tracer = Tracer::new(TraceConfig::default());
+        tracer.scr_start(0);
+        for i in 0..2 * n_per_class {
+            let label = (i % 2) as u64;
+            tracer.iter_start(i as u64 * 10, label);
+            for c in 0..3u64 {
+                tracer.begin_cycle(i as u64 * 10 + c);
+                for unit in UnitId::ALL {
+                    let row = if Some(unit) == leak_unit {
+                        vec![0x1000 + label * 0x10, c]
+                    } else {
+                        vec![0x1000, c]
+                    };
+                    tracer.record_row(unit, &row);
+                }
+            }
+            tracer.iter_end(i as u64 * 10 + 3);
+        }
+        tracer.scr_end(u64::MAX);
+        tracer.iterations
+    }
+
+    #[test]
+    fn flags_exactly_the_leaky_unit() {
+        let iters = synthetic(40, Some(UnitId::SqAddr));
+        let report = analyze(&iters);
+        assert!(report.unit(UnitId::SqAddr).is_leaky());
+        for u in &report.units {
+            if u.unit != UnitId::SqAddr {
+                assert!(!u.is_leaky(), "{} falsely flagged", u.unit);
+                assert!(u.assoc.cramers_v < 0.1);
+            }
+        }
+        let leaky = report.leaky_units();
+        assert_eq!(leaky.len(), 1);
+        assert_eq!(leaky[0].unit, UnitId::SqAddr);
+    }
+
+    #[test]
+    fn clean_traces_produce_clean_report() {
+        let report = analyze(&synthetic(30, None));
+        assert!(!report.is_leaky());
+        assert!(!report.needs_more_samples());
+        assert_eq!(report.classes, 2);
+        assert_eq!(report.iterations, 60);
+    }
+
+    #[test]
+    fn too_few_samples_not_significant() {
+        // Two iterations, one per class, different snapshots: V = 1 but
+        // the p-value cannot clear 0.05 — no leak verdict (the paper's
+        // false-positive guard).
+        let iters = synthetic(1, Some(UnitId::RobPc));
+        let report = analyze(&iters);
+        let u = report.unit(UnitId::RobPc);
+        assert!(u.assoc.cramers_v > 0.99);
+        assert!(!u.assoc.is_significant());
+        assert!(!u.is_leaky());
+        assert!(report.needs_more_samples());
+    }
+
+    #[test]
+    fn escalation_until_significant() {
+        let analyzer = Analyzer::new();
+        let outcome = analyzer.analyze_with_escalation(
+            synthetic(1, Some(UnitId::LqAddr)),
+            10,
+            |_round| synthetic(4, Some(UnitId::LqAddr)),
+        );
+        assert!(outcome.rounds >= 1, "escalation should have been needed");
+        assert!(outcome.report.unit(UnitId::LqAddr).is_leaky());
+        assert!(!outcome.report.needs_more_samples());
+        assert!(outcome.total_iterations > 2);
+    }
+
+    #[test]
+    fn escalation_gives_up_after_max_rounds() {
+        let analyzer = Analyzer::new();
+        // Every batch is 1-per-class: p stays weak; stops at max_rounds.
+        let outcome = analyzer.analyze_with_escalation(
+            synthetic(1, Some(UnitId::SqPc)),
+            3,
+            |_round| synthetic(0, Some(UnitId::SqPc)),
+        );
+        assert!(outcome.rounds <= 3);
+    }
+
+    #[test]
+    fn contingency_matches_paper_shape() {
+        let iters = synthetic(10, Some(UnitId::SqAddr));
+        let t = Analyzer::new().contingency(&iters, UnitId::SqAddr, false);
+        assert_eq!(t.class_count(), 2);
+        assert_eq!(t.category_count(), 2); // one hash per class
+        assert_eq!(t.total(), 20);
+    }
+
+    #[test]
+    fn timeless_hash_used_when_requested() {
+        // Constant rows within an iteration: the timeless variant collapses
+        // them to one row, so the two hash spaces must differ.
+        let mut tracer = Tracer::new(TraceConfig::default());
+        tracer.scr_start(0);
+        for label in [0u64, 1] {
+            tracer.iter_start(label * 10, label);
+            for c in 0..4 {
+                tracer.begin_cycle(label * 10 + c);
+                for unit in UnitId::ALL {
+                    tracer.record_row(unit, &[7, 7]);
+                }
+            }
+            tracer.iter_end(label * 10 + 5);
+        }
+        tracer.scr_end(100);
+        let iters = tracer.iterations;
+        let a = Analyzer::new().contingency(&iters, UnitId::SqAddr, false);
+        let b = Analyzer::new().contingency(&iters, UnitId::SqAddr, true);
+        assert_eq!(a.category_count(), 1);
+        assert_eq!(b.category_count(), 1);
+        assert_ne!(a.categories().next().unwrap(), b.categories().next().unwrap());
+    }
+}

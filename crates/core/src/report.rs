@@ -1,0 +1,172 @@
+use microsampler_sim::UnitId;
+use microsampler_stats::Association;
+use std::fmt;
+
+/// Per-unit analysis result: association with and without timing
+/// information (the paper's Fig. 9 distinction).
+#[derive(Clone, Debug, PartialEq)]
+pub struct UnitReport {
+    /// The microarchitectural unit.
+    pub unit: UnitId,
+    /// Association between secret classes and full snapshot hashes.
+    pub assoc: Association,
+    /// Association with consecutive duplicate rows consolidated
+    /// (timing removed).
+    pub assoc_timeless: Association,
+}
+
+impl UnitReport {
+    /// The paper's leak verdict for this unit: strong and statistically
+    /// significant association.
+    pub fn is_leaky(&self) -> bool {
+        self.assoc.is_leak()
+    }
+
+    /// Leaky even after removing timing information — the correlation is
+    /// in *what* happened, not just *when*.
+    pub fn is_leaky_without_timing(&self) -> bool {
+        self.assoc_timeless.is_leak()
+    }
+}
+
+/// The full analysis report: one entry per tracked unit, in canonical
+/// order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisReport {
+    /// Per-unit results, indexed like [`UnitId::ALL`].
+    pub units: Vec<UnitReport>,
+    /// Number of iterations analyzed.
+    pub iterations: usize,
+    /// Number of distinct secret classes observed.
+    pub classes: usize,
+}
+
+impl AnalysisReport {
+    /// The report for one unit.
+    pub fn unit(&self, unit: UnitId) -> &UnitReport {
+        &self.units[unit.index()]
+    }
+
+    /// Units flagged as leaky, most strongly associated first.
+    pub fn leaky_units(&self) -> Vec<&UnitReport> {
+        let mut v: Vec<&UnitReport> = self.units.iter().filter(|u| u.is_leaky()).collect();
+        v.sort_by(|a, b| b.assoc.cramers_v.total_cmp(&a.assoc.cramers_v));
+        v
+    }
+
+    /// True when any unit is flagged.
+    pub fn is_leaky(&self) -> bool {
+        self.units.iter().any(|u| u.is_leaky())
+    }
+
+    /// True when some unit shows strong association whose significance is
+    /// still unconfirmed (p ≥ 0.05) — the analyzer's signal to escalate
+    /// the number of inputs (paper §VII-D, "False Positives").
+    pub fn needs_more_samples(&self) -> bool {
+        self.units.iter().any(|u| {
+            u.assoc.cramers_v > microsampler_stats::CRAMERS_V_STRONG && !u.assoc.is_significant()
+        })
+    }
+
+    /// `(unit name, Cramér's V)` series in canonical unit order — the data
+    /// behind the paper's Fig. 3/4/7/9/10 bar charts.
+    pub fn v_series(&self) -> Vec<(&'static str, f64)> {
+        self.units.iter().map(|u| (u.unit.name(), u.assoc.cramers_v)).collect()
+    }
+
+    /// Same series computed on timing-removed snapshots (Fig. 9 orange
+    /// bars).
+    pub fn v_series_timeless(&self) -> Vec<(&'static str, f64)> {
+        self.units.iter().map(|u| (u.unit.name(), u.assoc_timeless.cramers_v)).collect()
+    }
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "MicroSampler analysis: {} iterations, {} classes",
+            self.iterations, self.classes
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>8} {:>10} {:>10} {:>8}  verdict",
+            "unit", "V", "p-value", "V(no-t)", "hashes"
+        )?;
+        for u in &self.units {
+            writeln!(
+                f,
+                "{:<12} {:>8.3} {:>10.2e} {:>10.3} {:>8}  {}",
+                u.unit.name(),
+                u.assoc.cramers_v,
+                u.assoc.p_value,
+                u.assoc_timeless.cramers_v,
+                u.assoc.categories,
+                if u.is_leaky() { "LEAK" } else { "ok" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_stats::Association;
+
+    fn report_with(v: f64, p: f64) -> AnalysisReport {
+        let mut units: Vec<UnitReport> = UnitId::ALL
+            .iter()
+            .map(|&unit| UnitReport {
+                unit,
+                assoc: Association::none(),
+                assoc_timeless: Association::none(),
+            })
+            .collect();
+        units[0].assoc.cramers_v = v;
+        units[0].assoc.p_value = p;
+        AnalysisReport { units, iterations: 10, classes: 2 }
+    }
+
+    #[test]
+    fn leak_verdict_combines_v_and_p() {
+        assert!(report_with(0.9, 0.001).is_leaky());
+        assert!(!report_with(0.9, 0.5).is_leaky());
+        assert!(!report_with(0.2, 0.001).is_leaky());
+    }
+
+    #[test]
+    fn escalation_signal() {
+        assert!(report_with(0.9, 0.5).needs_more_samples());
+        assert!(!report_with(0.9, 0.001).needs_more_samples());
+        assert!(!report_with(0.1, 0.5).needs_more_samples());
+    }
+
+    #[test]
+    fn leaky_units_sorted_by_strength() {
+        let mut r = report_with(0.6, 0.001);
+        r.units[3].assoc.cramers_v = 0.9;
+        r.units[3].assoc.p_value = 0.001;
+        let leaky = r.leaky_units();
+        assert_eq!(leaky.len(), 2);
+        assert!(leaky[0].assoc.cramers_v >= leaky[1].assoc.cramers_v);
+    }
+
+    #[test]
+    fn display_lists_all_units() {
+        let s = report_with(0.9, 0.001).to_string();
+        for u in UnitId::ALL {
+            assert!(s.contains(u.name()), "missing {}", u.name());
+        }
+        assert!(s.contains("LEAK"));
+    }
+
+    #[test]
+    fn v_series_order_matches_units() {
+        let r = report_with(0.4, 0.2);
+        let s = r.v_series();
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0].0, "SQ-ADDR");
+        assert!((s[0].1 - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,887 @@
+//! Two-pass text assembler for the RV64IM subset.
+//!
+//! Supports labels, the common data directives (`.byte`, `.half`, `.word`,
+//! `.dword`, `.zero`, `.align`, `.asciz`), `.equ` constants and the standard
+//! pseudo-instructions (`li`, `la`, `mv`, `not`, `neg`, `negw`, `sext.w`,
+//! `seqz`, `snez`, `beqz`, `bnez`, `bgtz`, `blez`, `bgez`, `bltz`, `bgt`,
+//! `ble`, `bgtu`, `bleu`, `j`, `jr`, `call`, `tail`, `ret`, `nop`, `csrw`,
+//! `csrr`).
+//!
+//! Comments start with `#` or `//`. Sections are `.text` (default) and
+//! `.data`; they load at [`crate::program::TEXT_BASE`] and
+//! [`crate::program::DATA_BASE`].
+
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::program::{Section, Symbol, DATA_BASE, TEXT_BASE};
+use crate::{encode, Program, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembly error with the 1-based source line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 when no line applies).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> AsmError {
+        AsmError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            f.write_str(&self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An instruction awaiting label resolution.
+#[derive(Clone, Debug)]
+enum Pending {
+    Ready(Inst),
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, target: String },
+    Jal { rd: Reg, target: String },
+    /// `auipc` half of `la`; the matching `addi` follows immediately.
+    LaHi { rd: Reg, target: String },
+    /// `addi` half of `la`; anchored at own pc minus 4.
+    LaLo { rd: Reg, target: String },
+}
+
+struct Assembler<'a> {
+    src: &'a str,
+    text: Vec<(Pending, u32)>,
+    data: Vec<u8>,
+    section: Section,
+    consts: BTreeMap<String, i64>,
+    program: Program,
+}
+
+/// Assembles source text into a loadable [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on syntax errors, unknown mnemonics/registers,
+/// out-of-range immediates and undefined or duplicate labels.
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::asm::assemble;
+/// let p = assemble(".text\nstart: li a0, 5\n loop: addi a0, a0, -1\n bnez a0, loop\n ecall\n")?;
+/// assert_eq!(p.inst_count(), 4);
+/// assert_eq!(p.symbol_addr("loop"), p.symbol_addr("start") + 4);
+/// # Ok::<(), microsampler_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut asm = Assembler {
+        src,
+        text: Vec::new(),
+        data: Vec::new(),
+        section: Section::Text,
+        consts: BTreeMap::new(),
+        program: Program::new(),
+    };
+    asm.first_pass()?;
+    asm.second_pass()
+}
+
+impl<'a> Assembler<'a> {
+    fn text_pc(&self) -> u64 {
+        TEXT_BASE + self.text.len() as u64 * 4
+    }
+
+    fn data_pc(&self) -> u64 {
+        DATA_BASE + self.data.len() as u64
+    }
+
+    fn first_pass(&mut self) -> Result<(), AsmError> {
+        for (idx, raw) in self.src.lines().enumerate() {
+            let line_no = idx as u32 + 1;
+            let mut line = raw;
+            if let Some(pos) = line.find('#') {
+                line = &line[..pos];
+            }
+            if let Some(pos) = line.find("//") {
+                line = &line[..pos];
+            }
+            let mut line = line.trim();
+            // Labels (possibly several) at line start.
+            while let Some(colon) = line.find(':') {
+                let (label, rest) = line.split_at(colon);
+                let label = label.trim();
+                if label.is_empty() || !is_ident(label) {
+                    break;
+                }
+                let (addr, section) = match self.section {
+                    Section::Text => (self.text_pc(), Section::Text),
+                    Section::Data => (self.data_pc(), Section::Data),
+                };
+                self.program
+                    .insert_symbol(Symbol { name: label.to_owned(), addr, section })
+                    .map_err(|m| AsmError::new(line_no, m))?;
+                line = rest[1..].trim();
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(directive) = line.strip_prefix('.') {
+                self.directive(directive, line_no)?;
+            } else {
+                self.instruction(line, line_no)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn directive(&mut self, line: &str, line_no: u32) -> Result<(), AsmError> {
+        let (name, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        match name {
+            "text" => self.section = Section::Text,
+            "data" => self.section = Section::Data,
+            "global" | "globl" | "option" | "p2align" | "size" | "type" | "section" => {}
+            "equ" | "set" => {
+                let (name, value) = rest
+                    .split_once(',')
+                    .ok_or_else(|| AsmError::new(line_no, ".equ requires `name, value`"))?;
+                let value = self.parse_imm(value.trim(), line_no)?;
+                self.consts.insert(name.trim().to_owned(), value);
+            }
+            "align" => {
+                let n: u32 = rest
+                    .parse()
+                    .map_err(|_| AsmError::new(line_no, ".align requires an integer"))?;
+                let align = 1usize << n;
+                match self.section {
+                    Section::Text => {
+                        while !(self.text.len() * 4).is_multiple_of(align) {
+                            self.text.push((Pending::Ready(Inst::NOP), line_no));
+                        }
+                    }
+                    Section::Data => {
+                        while !self.data.len().is_multiple_of(align) {
+                            self.data.push(0);
+                        }
+                    }
+                }
+            }
+            "byte" | "half" | "word" | "dword" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(line_no, format!(".{name} only allowed in .data")));
+                }
+                let width = match name {
+                    "byte" => 1,
+                    "half" => 2,
+                    "word" => 4,
+                    _ => 8,
+                };
+                for field in rest.split(',') {
+                    let v = self.parse_imm(field.trim(), line_no)?;
+                    self.data.extend_from_slice(&v.to_le_bytes()[..width]);
+                }
+            }
+            "zero" | "space" | "skip" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(line_no, ".zero only allowed in .data"));
+                }
+                let n = self.parse_imm(rest, line_no)?;
+                if n < 0 {
+                    return Err(AsmError::new(line_no, ".zero size must be non-negative"));
+                }
+                self.data.extend(std::iter::repeat_n(0u8, n as usize));
+            }
+            "asciz" | "ascii" => {
+                if self.section != Section::Data {
+                    return Err(AsmError::new(line_no, format!(".{name} only allowed in .data")));
+                }
+                let s = rest.trim();
+                if !(s.starts_with('"') && s.ends_with('"') && s.len() >= 2) {
+                    return Err(AsmError::new(line_no, "expected a quoted string"));
+                }
+                self.data.extend_from_slice(&s.as_bytes()[1..s.len() - 1]);
+                if name == "asciz" {
+                    self.data.push(0);
+                }
+            }
+            _ => return Err(AsmError::new(line_no, format!("unknown directive `.{name}`"))),
+        }
+        Ok(())
+    }
+
+    fn instruction(&mut self, line: &str, line_no: u32) -> Result<(), AsmError> {
+        if self.section != Section::Text {
+            return Err(AsmError::new(line_no, "instructions only allowed in .text"));
+        }
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(pos) => (&line[..pos], line[pos..].trim()),
+            None => (line, ""),
+        };
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let pendings = self.lower(mnemonic, &ops, line_no)?;
+        for p in pendings {
+            self.text.push((p, line_no));
+        }
+        Ok(())
+    }
+
+    fn reg(&self, s: &str, line_no: u32) -> Result<Reg, AsmError> {
+        s.parse::<Reg>().map_err(|e| AsmError::new(line_no, e.message))
+    }
+
+    fn parse_imm(&self, s: &str, line_no: u32) -> Result<i64, AsmError> {
+        parse_int(s)
+            .or_else(|| self.consts.get(s).copied())
+            .ok_or_else(|| AsmError::new(line_no, format!("cannot parse immediate `{s}`")))
+    }
+
+    /// Parses `offset(reg)` with an optional offset.
+    fn mem_operand(&self, s: &str, line_no: u32) -> Result<(i64, Reg), AsmError> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| AsmError::new(line_no, format!("expected `offset(reg)`, got `{s}`")))?;
+        if !s.ends_with(')') {
+            return Err(AsmError::new(line_no, format!("expected `offset(reg)`, got `{s}`")));
+        }
+        let off_str = s[..open].trim();
+        let off = if off_str.is_empty() { 0 } else { self.parse_imm(off_str, line_no)? };
+        let reg = self.reg(s[open + 1..s.len() - 1].trim(), line_no)?;
+        Ok((off, reg))
+    }
+
+    fn expect_ops(&self, ops: &[&str], n: usize, mnemonic: &str, line_no: u32) -> Result<(), AsmError> {
+        if ops.len() != n {
+            return Err(AsmError::new(
+                line_no,
+                format!("`{mnemonic}` expects {n} operand(s), got {}", ops.len()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn lower(&mut self, m: &str, ops: &[&str], ln: u32) -> Result<Vec<Pending>, AsmError> {
+        use Pending::Ready;
+        let one = |i: Inst| Ok(vec![Ready(i)]);
+
+        // Register-register ALU / muldiv ops.
+        if let Some(op) = alu_rr(m) {
+            self.expect_ops(ops, 3, m, ln)?;
+            let (rd, rs1, rs2) =
+                (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?, self.reg(ops[2], ln)?);
+            return one(Inst::Op { op, rd, rs1, rs2 });
+        }
+        if let Some(op) = muldiv(m) {
+            self.expect_ops(ops, 3, m, ln)?;
+            let (rd, rs1, rs2) =
+                (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?, self.reg(ops[2], ln)?);
+            return one(Inst::MulDiv { op, rd, rs1, rs2 });
+        }
+        if let Some(op) = alu_ri(m) {
+            self.expect_ops(ops, 3, m, ln)?;
+            let (rd, rs1) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+            let imm = self.parse_imm(ops[2], ln)?;
+            return one(Inst::OpImm { op, rd, rs1, imm });
+        }
+        if let Some(op) = load(m) {
+            self.expect_ops(ops, 2, m, ln)?;
+            let rd = self.reg(ops[0], ln)?;
+            let (offset, rs1) = self.mem_operand(ops[1], ln)?;
+            return one(Inst::Load { op, rd, rs1, offset });
+        }
+        if let Some(op) = store(m) {
+            self.expect_ops(ops, 2, m, ln)?;
+            let rs2 = self.reg(ops[0], ln)?;
+            let (offset, rs1) = self.mem_operand(ops[1], ln)?;
+            return one(Inst::Store { op, rs1, rs2, offset });
+        }
+        if let Some(op) = branch(m) {
+            self.expect_ops(ops, 3, m, ln)?;
+            let (rs1, rs2) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+            return Ok(vec![Pending::Branch { op, rs1, rs2, target: ops[2].to_owned() }]);
+        }
+        // Swapped-operand branch pseudos.
+        if let Some(op) = match m {
+            "bgt" => Some(BranchOp::Blt),
+            "ble" => Some(BranchOp::Bge),
+            "bgtu" => Some(BranchOp::Bltu),
+            "bleu" => Some(BranchOp::Bgeu),
+            _ => None,
+        } {
+            self.expect_ops(ops, 3, m, ln)?;
+            let (rs1, rs2) = (self.reg(ops[1], ln)?, self.reg(ops[0], ln)?);
+            return Ok(vec![Pending::Branch { op, rs1, rs2, target: ops[2].to_owned() }]);
+        }
+        // Zero-comparison branch pseudos.
+        if let Some((op, zero_first)) = match m {
+            "beqz" => Some((BranchOp::Beq, false)),
+            "bnez" => Some((BranchOp::Bne, false)),
+            "bltz" => Some((BranchOp::Blt, false)),
+            "bgez" => Some((BranchOp::Bge, false)),
+            "bgtz" => Some((BranchOp::Blt, true)),
+            "blez" => Some((BranchOp::Bge, true)),
+            _ => None,
+        } {
+            self.expect_ops(ops, 2, m, ln)?;
+            let rs = self.reg(ops[0], ln)?;
+            let (rs1, rs2) = if zero_first { (Reg::ZERO, rs) } else { (rs, Reg::ZERO) };
+            return Ok(vec![Pending::Branch { op, rs1, rs2, target: ops[1].to_owned() }]);
+        }
+
+        match m {
+            "lui" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                let v = self.parse_imm(ops[1], ln)?;
+                if !(0..=0xFFFFF).contains(&v) {
+                    return Err(AsmError::new(ln, format!("lui immediate {v} out of range")));
+                }
+                one(Inst::Lui { rd, imm: ((v << 12) as i32) as i64 })
+            }
+            "auipc" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                let v = self.parse_imm(ops[1], ln)?;
+                one(Inst::Auipc { rd, imm: (v << 12) as i32 as i64 })
+            }
+            "jal" => match ops.len() {
+                1 => Ok(vec![Pending::Jal { rd: Reg::RA, target: ops[0].to_owned() }]),
+                2 => {
+                    let rd = self.reg(ops[0], ln)?;
+                    Ok(vec![Pending::Jal { rd, target: ops[1].to_owned() }])
+                }
+                _ => Err(AsmError::new(ln, "`jal` expects 1 or 2 operands")),
+            },
+            "jalr" => match ops.len() {
+                1 => {
+                    let rs1 = self.reg(ops[0], ln)?;
+                    one(Inst::Jalr { rd: Reg::RA, rs1, offset: 0 })
+                }
+                2 => {
+                    let rd = self.reg(ops[0], ln)?;
+                    let (offset, rs1) = self.mem_operand(ops[1], ln)?;
+                    one(Inst::Jalr { rd, rs1, offset })
+                }
+                _ => Err(AsmError::new(ln, "`jalr` expects 1 or 2 operands")),
+            },
+            "j" | "tail" => {
+                self.expect_ops(ops, 1, m, ln)?;
+                Ok(vec![Pending::Jal { rd: Reg::ZERO, target: ops[0].to_owned() }])
+            }
+            "call" => {
+                self.expect_ops(ops, 1, m, ln)?;
+                Ok(vec![Pending::Jal { rd: Reg::RA, target: ops[0].to_owned() }])
+            }
+            "jr" => {
+                self.expect_ops(ops, 1, m, ln)?;
+                let rs1 = self.reg(ops[0], ln)?;
+                one(Inst::Jalr { rd: Reg::ZERO, rs1, offset: 0 })
+            }
+            "ret" => {
+                self.expect_ops(ops, 0, m, ln)?;
+                one(Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 })
+            }
+            "nop" => {
+                self.expect_ops(ops, 0, m, ln)?;
+                one(Inst::NOP)
+            }
+            "mv" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs1) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::OpImm { op: AluOp::Add, rd, rs1, imm: 0 })
+            }
+            "not" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs1) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::OpImm { op: AluOp::Xor, rd, rs1, imm: -1 })
+            }
+            "neg" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs2) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::Op { op: AluOp::Sub, rd, rs1: Reg::ZERO, rs2 })
+            }
+            "negw" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs2) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::Op { op: AluOp::SubW, rd, rs1: Reg::ZERO, rs2 })
+            }
+            "sext.w" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs1) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::OpImm { op: AluOp::AddW, rd, rs1, imm: 0 })
+            }
+            "seqz" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs1) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::OpImm { op: AluOp::Sltu, rd, rs1, imm: 1 })
+            }
+            "snez" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let (rd, rs2) = (self.reg(ops[0], ln)?, self.reg(ops[1], ln)?);
+                one(Inst::Op { op: AluOp::Sltu, rd, rs1: Reg::ZERO, rs2 })
+            }
+            "li" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                let v = self.parse_imm(ops[1], ln)?;
+                Ok(expand_li(rd, v).into_iter().map(Ready).collect())
+            }
+            "la" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                Ok(vec![
+                    Pending::LaHi { rd, target: ops[1].to_owned() },
+                    Pending::LaLo { rd, target: ops[1].to_owned() },
+                ])
+            }
+            "csrw" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let csr = self.parse_imm(ops[0], ln)? as u16;
+                let rs1 = self.reg(ops[1], ln)?;
+                one(Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1, csr })
+            }
+            "csrr" => {
+                self.expect_ops(ops, 2, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                let csr = self.parse_imm(ops[1], ln)? as u16;
+                one(Inst::Csr { op: CsrOp::Rs, rd, rs1: Reg::ZERO, csr })
+            }
+            "csrrw" | "csrrs" | "csrrc" => {
+                self.expect_ops(ops, 3, m, ln)?;
+                let rd = self.reg(ops[0], ln)?;
+                let csr = self.parse_imm(ops[1], ln)? as u16;
+                let rs1 = self.reg(ops[2], ln)?;
+                let op = match m {
+                    "csrrw" => CsrOp::Rw,
+                    "csrrs" => CsrOp::Rs,
+                    _ => CsrOp::Rc,
+                };
+                one(Inst::Csr { op, rd, rs1, csr })
+            }
+            "ecall" => one(Inst::Ecall),
+            "ebreak" => one(Inst::Ebreak),
+            "fence" => one(Inst::Fence),
+            _ => Err(AsmError::new(ln, format!("unknown mnemonic `{m}`"))),
+        }
+    }
+
+    fn resolve(&self, target: &str, ln: u32) -> Result<u64, AsmError> {
+        self.program
+            .symbol(target)
+            .map(|s| s.addr)
+            .ok_or_else(|| AsmError::new(ln, format!("undefined label `{target}`")))
+    }
+
+    fn second_pass(mut self) -> Result<Program, AsmError> {
+        let mut words = Vec::with_capacity(self.text.len());
+        let pendings = std::mem::take(&mut self.text);
+        for (i, (p, ln)) in pendings.iter().enumerate() {
+            let pc = TEXT_BASE + i as u64 * 4;
+            let inst = match p {
+                Pending::Ready(inst) => *inst,
+                Pending::Branch { op, rs1, rs2, target } => {
+                    let dest = self.resolve(target, *ln)?;
+                    let offset = dest as i64 - pc as i64;
+                    if !(-4096..=4094).contains(&offset) {
+                        return Err(AsmError::new(
+                            *ln,
+                            format!("branch to `{target}` out of range ({offset} bytes)"),
+                        ));
+                    }
+                    Inst::Branch { op: *op, rs1: *rs1, rs2: *rs2, offset }
+                }
+                Pending::Jal { rd, target } => {
+                    let dest = self.resolve(target, *ln)?;
+                    let offset = dest as i64 - pc as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::new(
+                            *ln,
+                            format!("jump to `{target}` out of range ({offset} bytes)"),
+                        ));
+                    }
+                    Inst::Jal { rd: *rd, offset }
+                }
+                Pending::LaHi { rd, target } => {
+                    let dest = self.resolve(target, *ln)?;
+                    let delta = dest as i64 - pc as i64;
+                    let hi = (delta + 0x800) >> 12 << 12;
+                    Inst::Auipc { rd: *rd, imm: hi }
+                }
+                Pending::LaLo { rd, target } => {
+                    let dest = self.resolve(target, *ln)?;
+                    let anchor = pc - 4;
+                    let delta = dest as i64 - anchor as i64;
+                    let hi = (delta + 0x800) >> 12 << 12;
+                    Inst::OpImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: delta - hi }
+                }
+            };
+            words.push(encode(&inst));
+        }
+        self.program.text = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        self.program.data = self.data;
+        self.program.entry = self
+            .program
+            .symbol("_start")
+            .map(|s| s.addr)
+            .unwrap_or(TEXT_BASE);
+        Ok(self.program)
+    }
+}
+
+/// Expands `li rd, value` into a minimal concrete sequence.
+fn expand_li(rd: Reg, value: i64) -> Vec<Inst> {
+    if (-2048..=2047).contains(&value) {
+        return vec![Inst::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm: value }];
+    }
+    if value == value as i32 as i64 {
+        let hi = ((value + 0x800) >> 12) << 12;
+        let lo = value - hi;
+        // `hi` may have wrapped to exactly 2^31 for values near i32::MAX; the
+        // lui immediate field interprets it modulo 2^32 with sign extension.
+        let hi = hi as i32 as i64;
+        let mut seq = vec![Inst::Lui { rd, imm: hi }];
+        if lo != 0 {
+            seq.push(Inst::OpImm { op: AluOp::AddW, rd, rs1: rd, imm: lo });
+        }
+        return seq;
+    }
+    // General 64-bit case: materialize the upper half, shift, then OR in the
+    // lower bits 12 at a time (11 to keep immediates non-negative).
+    let mut seq = expand_li(rd, value >> 32);
+    let mut remaining = 32u32;
+    let low = value as u32 as u64;
+    while remaining > 0 {
+        let chunk = remaining.min(11);
+        remaining -= chunk;
+        seq.push(Inst::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: chunk as i64 });
+        let bits = ((low >> remaining) & ((1 << chunk) - 1)) as i64;
+        if bits != 0 {
+            seq.push(Inst::OpImm { op: AluOp::Or, rd, rs1: rd, imm: bits });
+        }
+    }
+    seq
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let magnitude = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        u64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else {
+        body.replace('_', "").parse::<u64>().ok()?
+    };
+    if neg {
+        Some((magnitude as i64).wrapping_neg())
+    } else {
+        Some(magnitude as i64)
+    }
+}
+
+fn alu_rr(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "sll" => AluOp::Sll,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "xor" => AluOp::Xor,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "or" => AluOp::Or,
+        "and" => AluOp::And,
+        "addw" => AluOp::AddW,
+        "subw" => AluOp::SubW,
+        "sllw" => AluOp::SllW,
+        "srlw" => AluOp::SrlW,
+        "sraw" => AluOp::SraW,
+        _ => return None,
+    })
+}
+
+fn alu_ri(m: &str) -> Option<AluOp> {
+    Some(match m {
+        "addi" => AluOp::Add,
+        "slli" => AluOp::Sll,
+        "slti" => AluOp::Slt,
+        "sltiu" => AluOp::Sltu,
+        "xori" => AluOp::Xor,
+        "srli" => AluOp::Srl,
+        "srai" => AluOp::Sra,
+        "ori" => AluOp::Or,
+        "andi" => AluOp::And,
+        "addiw" => AluOp::AddW,
+        "slliw" => AluOp::SllW,
+        "srliw" => AluOp::SrlW,
+        "sraiw" => AluOp::SraW,
+        _ => return None,
+    })
+}
+
+fn muldiv(m: &str) -> Option<MulDivOp> {
+    Some(match m {
+        "mul" => MulDivOp::Mul,
+        "mulh" => MulDivOp::Mulh,
+        "mulhsu" => MulDivOp::Mulhsu,
+        "mulhu" => MulDivOp::Mulhu,
+        "div" => MulDivOp::Div,
+        "divu" => MulDivOp::Divu,
+        "rem" => MulDivOp::Rem,
+        "remu" => MulDivOp::Remu,
+        "mulw" => MulDivOp::MulW,
+        "divw" => MulDivOp::DivW,
+        "divuw" => MulDivOp::DivuW,
+        "remw" => MulDivOp::RemW,
+        "remuw" => MulDivOp::RemuW,
+        _ => return None,
+    })
+}
+
+fn load(m: &str) -> Option<LoadOp> {
+    Some(match m {
+        "lb" => LoadOp::Lb,
+        "lh" => LoadOp::Lh,
+        "lw" => LoadOp::Lw,
+        "ld" => LoadOp::Ld,
+        "lbu" => LoadOp::Lbu,
+        "lhu" => LoadOp::Lhu,
+        "lwu" => LoadOp::Lwu,
+        _ => return None,
+    })
+}
+
+fn store(m: &str) -> Option<StoreOp> {
+    Some(match m {
+        "sb" => StoreOp::Sb,
+        "sh" => StoreOp::Sh,
+        "sw" => StoreOp::Sw,
+        "sd" => StoreOp::Sd,
+        _ => return None,
+    })
+}
+
+fn branch(m: &str) -> Option<BranchOp> {
+    Some(match m {
+        "beq" => BranchOp::Beq,
+        "bne" => BranchOp::Bne,
+        "blt" => BranchOp::Blt,
+        "bge" => BranchOp::Bge,
+        "bltu" => BranchOp::Bltu,
+        "bgeu" => BranchOp::Bgeu,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode;
+
+    fn insts(p: &Program) -> Vec<Inst> {
+        p.text
+            .chunks(4)
+            .map(|c| decode(u32::from_le_bytes(c.try_into().unwrap())).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn simple_program() {
+        let p = assemble("li a0, 5\naddi a0, a0, 1\necall\n").unwrap();
+        assert_eq!(
+            insts(&p),
+            vec![
+                Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::ZERO, imm: 5 },
+                Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 },
+                Inst::Ecall,
+            ]
+        );
+    }
+
+    #[test]
+    fn backward_and_forward_branches() {
+        let p = assemble("top: beqz a0, done\n addi a0, a0, -1\n j top\n done: ecall\n").unwrap();
+        let is = insts(&p);
+        assert_eq!(is[0], Inst::Branch { op: BranchOp::Beq, rs1: Reg::new(10), rs2: Reg::ZERO, offset: 12 });
+        assert_eq!(is[2], Inst::Jal { rd: Reg::ZERO, offset: -8 });
+    }
+
+    #[test]
+    fn li_expansions_cover_widths() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234,
+            -4097,
+            0x7FFF_FFFF,
+            -0x8000_0000,
+            0x1234_5678,
+            0x1_0000_0000,
+            -0x1_0000_0000,
+            0x0102_0304_0506_0708,
+            i64::MAX,
+            i64::MIN,
+            -0x7654_3210_0FED_CBA9,
+        ] {
+            let seq = expand_li(Reg::new(5), v);
+            assert_eq!(eval_li(&seq), v, "li {v:#x}");
+        }
+    }
+
+    /// Interprets an `li` expansion sequence to check its value.
+    fn eval_li(seq: &[Inst]) -> i64 {
+        let mut r = 0i64;
+        for inst in seq {
+            r = match *inst {
+                Inst::Lui { imm, .. } => imm,
+                Inst::OpImm { op: AluOp::Add, rs1, imm, .. } if rs1.is_zero() => imm,
+                Inst::OpImm { op: AluOp::AddW, imm, .. } => (r + imm) as i32 as i64,
+                Inst::OpImm { op: AluOp::Sll, imm, .. } => r << imm,
+                Inst::OpImm { op: AluOp::Or, imm, .. } => r | imm,
+                _ => panic!("unexpected inst in li expansion: {inst:?}"),
+            };
+        }
+        r
+    }
+
+    #[test]
+    fn la_resolves_data_symbols() {
+        let src = ".data\nbuf: .zero 16\nval: .dword 42\n.text\nla a0, buf\nla a1, val\necall\n";
+        let p = assemble(src).unwrap();
+        assert_eq!(p.symbol_addr("buf"), DATA_BASE);
+        assert_eq!(p.symbol_addr("val"), DATA_BASE + 16);
+        // auipc+addi pair must compute the symbol address.
+        let is = insts(&p);
+        let (hi, lo) = match (is[0], is[1]) {
+            (Inst::Auipc { imm: hi, .. }, Inst::OpImm { op: AluOp::Add, imm: lo, .. }) => (hi, lo),
+            other => panic!("unexpected la expansion {other:?}"),
+        };
+        assert_eq!((TEXT_BASE as i64 + hi + lo) as u64, DATA_BASE);
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = assemble(".data\na: .byte 1, 2, 3\n.align 2\nb: .word 0x11223344\nc: .dword -1\n")
+            .unwrap();
+        assert_eq!(p.data[0..3], [1, 2, 3]);
+        assert_eq!(p.symbol_addr("b") % 4, 0);
+        let woff = (p.symbol_addr("b") - DATA_BASE) as usize;
+        assert_eq!(p.data[woff..woff + 4], [0x44, 0x33, 0x22, 0x11]);
+        let doff = (p.symbol_addr("c") - DATA_BASE) as usize;
+        assert_eq!(p.data[doff..doff + 8], [0xFF; 8]);
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = assemble(".equ N, 12\nli a0, N\naddi a0, a0, N\n").unwrap();
+        let is = insts(&p);
+        assert_eq!(is[0], Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::ZERO, imm: 12 });
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a0, a1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        assert!(assemble("x: nop\nx: nop\n").is_err());
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let e = assemble("j nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# full line\n  nop # trailing\n\n // slashes\nnop\n").unwrap();
+        assert_eq!(p.inst_count(), 2);
+    }
+
+    #[test]
+    fn entry_uses_start_when_present() {
+        let p = assemble("nop\n_start: ecall\n").unwrap();
+        assert_eq!(p.entry, TEXT_BASE + 4);
+        let q = assemble("nop\n").unwrap();
+        assert_eq!(q.entry, TEXT_BASE);
+    }
+
+    #[test]
+    fn csr_markers() {
+        let p = assemble("csrw 0x8c2, a0\ncsrr a1, 0x8c2\n").unwrap();
+        let is = insts(&p);
+        assert_eq!(is[0], Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::new(10), csr: 0x8C2 });
+        assert_eq!(is[1], Inst::Csr { op: CsrOp::Rs, rd: Reg::new(11), rs1: Reg::ZERO, csr: 0x8C2 });
+    }
+
+    #[test]
+    fn zero_comparison_pseudos() {
+        let p = assemble("t: bgtz a0, t\nblez a1, t\nbgez a2, t\nbltz a3, t\n").unwrap();
+        let is = insts(&p);
+        assert!(matches!(is[0], Inst::Branch { op: BranchOp::Blt, rs1, .. } if rs1.is_zero()));
+        assert!(matches!(is[1], Inst::Branch { op: BranchOp::Bge, rs1, .. } if rs1.is_zero()));
+        assert!(matches!(is[2], Inst::Branch { op: BranchOp::Bge, rs2, .. } if rs2.is_zero()));
+        assert!(matches!(is[3], Inst::Branch { op: BranchOp::Blt, rs2, .. } if rs2.is_zero()));
+    }
+
+    #[test]
+    fn swapped_branch_pseudos() {
+        let p = assemble("t: bgt a0, a1, t\nble a0, a1, t\n").unwrap();
+        let is = insts(&p);
+        assert_eq!(
+            is[0],
+            Inst::Branch { op: BranchOp::Blt, rs1: Reg::new(11), rs2: Reg::new(10), offset: 0 }
+        );
+        assert_eq!(
+            is[1],
+            Inst::Branch { op: BranchOp::Bge, rs1: Reg::new(11), rs2: Reg::new(10), offset: -4 }
+        );
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("ld a0, (sp)\nld a1, -8(s0)\nsb a2, 3(a3)\n").unwrap();
+        let is = insts(&p);
+        assert_eq!(is[0], Inst::Load { op: LoadOp::Ld, rd: Reg::new(10), rs1: Reg::SP, offset: 0 });
+        assert_eq!(is[1], Inst::Load { op: LoadOp::Ld, rd: Reg::new(11), rs1: Reg::new(8), offset: -8 });
+        assert_eq!(is[2], Inst::Store { op: StoreOp::Sb, rs1: Reg::new(13), rs2: Reg::new(12), offset: 3 });
+    }
+
+    #[test]
+    fn muldiv_mnemonics() {
+        let p = assemble("mul a0, a1, a2\nremu a3, a4, a5\ndivw a6, a7, t0\n").unwrap();
+        let is = insts(&p);
+        assert!(matches!(is[0], Inst::MulDiv { op: MulDivOp::Mul, .. }));
+        assert!(matches!(is[1], Inst::MulDiv { op: MulDivOp::Remu, .. }));
+        assert!(matches!(is[2], Inst::MulDiv { op: MulDivOp::DivW, .. }));
+    }
+}

@@ -1,0 +1,273 @@
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::Reg;
+use std::fmt;
+
+/// Error returned by [`decode`] for words that are not valid instructions in
+/// the supported RV64IM subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending machine word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode machine word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn sext(value: u32, bits: u32) -> i64 {
+    let shift = 64 - bits;
+    ((value as i64) << shift) >> shift 
+}
+
+/// Decodes a 32-bit machine word into an [`Inst`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word is not a valid encoding of any
+/// instruction in the supported subset.
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::{decode, Inst, Reg, AluOp};
+/// let inst = decode(0x0015_0513)?; // addi a0, a0, 1
+/// assert_eq!(inst, Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 });
+/// # Ok::<(), microsampler_isa::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let opcode = word & 0x7F;
+    let rd = Reg::new(((word >> 7) & 0x1F) as u8);
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = Reg::new(((word >> 15) & 0x1F) as u8);
+    let rs2 = Reg::new(((word >> 20) & 0x1F) as u8);
+    let funct7 = (word >> 25) & 0x7F;
+    let err = Err(DecodeError { word });
+
+    let inst = match opcode {
+        0b0110111 => Inst::Lui { rd, imm: sext(word & 0xFFFF_F000, 32) },
+        0b0010111 => Inst::Auipc { rd, imm: sext(word & 0xFFFF_F000, 32) },
+        0b1101111 => {
+            let imm = ((word >> 31) & 1) << 20
+                | ((word >> 21) & 0x3FF) << 1
+                | ((word >> 20) & 1) << 11
+                | ((word >> 12) & 0xFF) << 12;
+            Inst::Jal { rd, offset: sext(imm, 21) }
+        }
+        0b1100111 => {
+            if funct3 != 0 {
+                return err;
+            }
+            Inst::Jalr { rd, rs1, offset: sext(word >> 20, 12) }
+        }
+        0b1100011 => {
+            let op = match funct3 {
+                0b000 => BranchOp::Beq,
+                0b001 => BranchOp::Bne,
+                0b100 => BranchOp::Blt,
+                0b101 => BranchOp::Bge,
+                0b110 => BranchOp::Bltu,
+                0b111 => BranchOp::Bgeu,
+                _ => return err,
+            };
+            let imm = ((word >> 31) & 1) << 12
+                | ((word >> 7) & 1) << 11
+                | ((word >> 25) & 0x3F) << 5
+                | ((word >> 8) & 0xF) << 1;
+            Inst::Branch { op, rs1, rs2, offset: sext(imm, 13) }
+        }
+        0b0000011 => {
+            let op = match funct3 {
+                0b000 => LoadOp::Lb,
+                0b001 => LoadOp::Lh,
+                0b010 => LoadOp::Lw,
+                0b011 => LoadOp::Ld,
+                0b100 => LoadOp::Lbu,
+                0b101 => LoadOp::Lhu,
+                0b110 => LoadOp::Lwu,
+                _ => return err,
+            };
+            Inst::Load { op, rd, rs1, offset: sext(word >> 20, 12) }
+        }
+        0b0100011 => {
+            let op = match funct3 {
+                0b000 => StoreOp::Sb,
+                0b001 => StoreOp::Sh,
+                0b010 => StoreOp::Sw,
+                0b011 => StoreOp::Sd,
+                _ => return err,
+            };
+            let imm = ((word >> 25) & 0x7F) << 5 | ((word >> 7) & 0x1F);
+            Inst::Store { op, rs1, rs2, offset: sext(imm, 12) }
+        }
+        0b0010011 => {
+            let imm = sext(word >> 20, 12);
+            let op = match funct3 {
+                0b000 => AluOp::Add,
+                0b001 if funct7 & 0x7E == 0 => {
+                    return Ok(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: ((word >> 20) & 0x3F) as i64 })
+                }
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 => {
+                    let shamt = ((word >> 20) & 0x3F) as i64;
+                    let op = match funct7 & 0x7E {
+                        0b0000000 => AluOp::Srl,
+                        0b0100000 => AluOp::Sra,
+                        _ => return err,
+                    };
+                    return Ok(Inst::OpImm { op, rd, rs1, imm: shamt });
+                }
+                0b110 => AluOp::Or,
+                0b111 => AluOp::And,
+                _ => return err,
+            };
+            Inst::OpImm { op, rd, rs1, imm }
+        }
+        0b0011011 => match funct3 {
+            0b000 => Inst::OpImm { op: AluOp::AddW, rd, rs1, imm: sext(word >> 20, 12) },
+            0b001 if funct7 == 0 => {
+                Inst::OpImm { op: AluOp::SllW, rd, rs1, imm: rs2.index() as i64 }
+            }
+            0b101 => {
+                let shamt = rs2.index() as i64;
+                match funct7 {
+                    0b0000000 => Inst::OpImm { op: AluOp::SrlW, rd, rs1, imm: shamt },
+                    0b0100000 => Inst::OpImm { op: AluOp::SraW, rd, rs1, imm: shamt },
+                    _ => return err,
+                }
+            }
+            _ => return err,
+        },
+        0b0110011 => {
+            if funct7 == 0b0000001 {
+                let op = match funct3 {
+                    0b000 => MulDivOp::Mul,
+                    0b001 => MulDivOp::Mulh,
+                    0b010 => MulDivOp::Mulhsu,
+                    0b011 => MulDivOp::Mulhu,
+                    0b100 => MulDivOp::Div,
+                    0b101 => MulDivOp::Divu,
+                    0b110 => MulDivOp::Rem,
+                    0b111 => MulDivOp::Remu,
+                    _ => unreachable!(),
+                };
+                Inst::MulDiv { op, rd, rs1, rs2 }
+            } else {
+                let op = match (funct3, funct7) {
+                    (0b000, 0b0000000) => AluOp::Add,
+                    (0b000, 0b0100000) => AluOp::Sub,
+                    (0b001, 0b0000000) => AluOp::Sll,
+                    (0b010, 0b0000000) => AluOp::Slt,
+                    (0b011, 0b0000000) => AluOp::Sltu,
+                    (0b100, 0b0000000) => AluOp::Xor,
+                    (0b101, 0b0000000) => AluOp::Srl,
+                    (0b101, 0b0100000) => AluOp::Sra,
+                    (0b110, 0b0000000) => AluOp::Or,
+                    (0b111, 0b0000000) => AluOp::And,
+                    _ => return err,
+                };
+                Inst::Op { op, rd, rs1, rs2 }
+            }
+        }
+        0b0111011 => {
+            if funct7 == 0b0000001 {
+                let op = match funct3 {
+                    0b000 => MulDivOp::MulW,
+                    0b100 => MulDivOp::DivW,
+                    0b101 => MulDivOp::DivuW,
+                    0b110 => MulDivOp::RemW,
+                    0b111 => MulDivOp::RemuW,
+                    _ => return err,
+                };
+                Inst::MulDiv { op, rd, rs1, rs2 }
+            } else {
+                let op = match (funct3, funct7) {
+                    (0b000, 0b0000000) => AluOp::AddW,
+                    (0b000, 0b0100000) => AluOp::SubW,
+                    (0b001, 0b0000000) => AluOp::SllW,
+                    (0b101, 0b0000000) => AluOp::SrlW,
+                    (0b101, 0b0100000) => AluOp::SraW,
+                    _ => return err,
+                };
+                Inst::Op { op, rd, rs1, rs2 }
+            }
+        }
+        0b1110011 => match funct3 {
+            0b000 => match word >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return err,
+            },
+            0b001 => Inst::Csr { op: CsrOp::Rw, rd, rs1, csr: (word >> 20) as u16 },
+            0b010 => Inst::Csr { op: CsrOp::Rs, rd, rs1, csr: (word >> 20) as u16 },
+            0b011 => Inst::Csr { op: CsrOp::Rc, rd, rs1, csr: (word >> 20) as u16 },
+            _ => return err,
+        },
+        0b0001111 => Inst::Fence,
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xFFFF_FFFF).is_err());
+        assert!(decode(0x0000_0000).is_err());
+    }
+
+    #[test]
+    fn decodes_known_words() {
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+        assert_eq!(
+            decode(0x0015_0513).unwrap(),
+            Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 }
+        );
+    }
+
+    #[test]
+    fn negative_jal_roundtrip() {
+        let i = Inst::Jal { rd: Reg::ZERO, offset: -1048576 };
+        assert_eq!(decode(encode(&i)).unwrap(), i);
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for imm in [0i64, 1, 31, 32, 63] {
+            for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+                let i = Inst::OpImm { op, rd: Reg::new(3), rs1: Reg::new(4), imm };
+                assert_eq!(decode(encode(&i)).unwrap(), i, "{op:?} {imm}");
+            }
+        }
+        for imm in [0i64, 1, 31] {
+            for op in [AluOp::SllW, AluOp::SrlW, AluOp::SraW] {
+                let i = Inst::OpImm { op, rd: Reg::new(3), rs1: Reg::new(4), imm };
+                assert_eq!(decode(encode(&i)).unwrap(), i, "{op:?} {imm}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        for op in [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc] {
+            let i = Inst::Csr { op, rd: Reg::new(1), rs1: Reg::new(2), csr: 0x8C2 };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn error_display_mentions_word() {
+        let e = decode(0xFFFF_FFFF).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+}

@@ -1,0 +1,145 @@
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, StoreOp};
+
+fn alu_name(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, _) => "sub",
+        (AluOp::Sll, false) => "sll",
+        (AluOp::Sll, true) => "slli",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Sltu, true) => "sltiu",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Srl, false) => "srl",
+        (AluOp::Srl, true) => "srli",
+        (AluOp::Sra, false) => "sra",
+        (AluOp::Sra, true) => "srai",
+        (AluOp::Or, false) => "or",
+        (AluOp::Or, true) => "ori",
+        (AluOp::And, false) => "and",
+        (AluOp::And, true) => "andi",
+        (AluOp::AddW, false) => "addw",
+        (AluOp::AddW, true) => "addiw",
+        (AluOp::SubW, _) => "subw",
+        (AluOp::SllW, false) => "sllw",
+        (AluOp::SllW, true) => "slliw",
+        (AluOp::SrlW, false) => "srlw",
+        (AluOp::SrlW, true) => "srliw",
+        (AluOp::SraW, false) => "sraw",
+        (AluOp::SraW, true) => "sraiw",
+    }
+}
+
+fn muldiv_name(op: MulDivOp) -> &'static str {
+    match op {
+        MulDivOp::Mul => "mul",
+        MulDivOp::Mulh => "mulh",
+        MulDivOp::Mulhsu => "mulhsu",
+        MulDivOp::Mulhu => "mulhu",
+        MulDivOp::Div => "div",
+        MulDivOp::Divu => "divu",
+        MulDivOp::Rem => "rem",
+        MulDivOp::Remu => "remu",
+        MulDivOp::MulW => "mulw",
+        MulDivOp::DivW => "divw",
+        MulDivOp::DivuW => "divuw",
+        MulDivOp::RemW => "remw",
+        MulDivOp::RemuW => "remuw",
+    }
+}
+
+/// Renders an instruction as canonical assembly text.
+///
+/// PC-relative targets are printed as signed byte offsets (`jal ra, +16`),
+/// since the disassembler has no symbol table.
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::{disassemble, decode};
+/// assert_eq!(disassemble(&decode(0x0015_0513)?), "addi a0, a0, 1");
+/// # Ok::<(), microsampler_isa::DecodeError>(())
+/// ```
+pub fn disassemble(inst: &Inst) -> String {
+    match *inst {
+        Inst::Lui { rd, imm } => format!("lui {rd}, {:#x}", (imm >> 12) & 0xFFFFF),
+        Inst::Auipc { rd, imm } => format!("auipc {rd}, {:#x}", (imm >> 12) & 0xFFFFF),
+        Inst::Jal { rd, offset } => format!("jal {rd}, {offset:+}"),
+        Inst::Jalr { rd, rs1, offset } => format!("jalr {rd}, {offset}({rs1})"),
+        Inst::Branch { op, rs1, rs2, offset } => {
+            let name = match op {
+                BranchOp::Beq => "beq",
+                BranchOp::Bne => "bne",
+                BranchOp::Blt => "blt",
+                BranchOp::Bge => "bge",
+                BranchOp::Bltu => "bltu",
+                BranchOp::Bgeu => "bgeu",
+            };
+            format!("{name} {rs1}, {rs2}, {offset:+}")
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            let name = match op {
+                LoadOp::Lb => "lb",
+                LoadOp::Lh => "lh",
+                LoadOp::Lw => "lw",
+                LoadOp::Ld => "ld",
+                LoadOp::Lbu => "lbu",
+                LoadOp::Lhu => "lhu",
+                LoadOp::Lwu => "lwu",
+            };
+            format!("{name} {rd}, {offset}({rs1})")
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            let name = match op {
+                StoreOp::Sb => "sb",
+                StoreOp::Sh => "sh",
+                StoreOp::Sw => "sw",
+                StoreOp::Sd => "sd",
+            };
+            format!("{name} {rs2}, {offset}({rs1})")
+        }
+        Inst::OpImm { op, rd, rs1, imm } => format!("{} {rd}, {rs1}, {imm}", alu_name(op, true)),
+        Inst::Op { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", alu_name(op, false)),
+        Inst::MulDiv { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", muldiv_name(op)),
+        Inst::Csr { op, rd, rs1, csr } => {
+            let name = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+            };
+            format!("{name} {rd}, {csr:#x}, {rs1}")
+        }
+        Inst::Ecall => "ecall".to_owned(),
+        Inst::Ebreak => "ebreak".to_owned(),
+        Inst::Fence => "fence".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn renders_common_forms() {
+        assert_eq!(
+            disassemble(&Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 }),
+            "addi a0, a0, 1"
+        );
+        assert_eq!(
+            disassemble(&Inst::Store { op: StoreOp::Sd, rs1: Reg::SP, rs2: Reg::new(11), offset: 16 }),
+            "sd a1, 16(sp)"
+        );
+        assert_eq!(disassemble(&Inst::Jal { rd: Reg::ZERO, offset: -8 }), "jal zero, -8");
+        assert_eq!(disassemble(&Inst::Ecall), "ecall");
+    }
+
+    #[test]
+    fn never_empty() {
+        assert!(!disassemble(&Inst::Fence).is_empty());
+        assert!(!disassemble(&Inst::NOP).is_empty());
+    }
+}

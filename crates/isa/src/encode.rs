@@ -1,0 +1,320 @@
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, StoreOp};
+use crate::Reg;
+
+const OPC_LUI: u32 = 0b0110111;
+const OPC_AUIPC: u32 = 0b0010111;
+const OPC_JAL: u32 = 0b1101111;
+const OPC_JALR: u32 = 0b1100111;
+const OPC_BRANCH: u32 = 0b1100011;
+const OPC_LOAD: u32 = 0b0000011;
+const OPC_STORE: u32 = 0b0100011;
+const OPC_OP_IMM: u32 = 0b0010011;
+const OPC_OP_IMM_32: u32 = 0b0011011;
+const OPC_OP: u32 = 0b0110011;
+const OPC_OP_32: u32 = 0b0111011;
+const OPC_SYSTEM: u32 = 0b1110011;
+const OPC_MISC_MEM: u32 = 0b0001111;
+
+fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (funct7 << 25)
+}
+
+fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i64) -> u32 {
+    let imm = (imm as u32) & 0xFFF;
+    opcode | ((rd.index() as u32) << 7) | (funct3 << 12) | ((rs1.index() as u32) << 15) | (imm << 20)
+}
+
+fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1F) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x7F) << 25)
+}
+
+fn b_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xF) << 8)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn u_type(opcode: u32, rd: Reg, imm: i64) -> u32 {
+    opcode | ((rd.index() as u32) << 7) | ((imm as u32) & 0xFFFF_F000)
+}
+
+fn j_type(opcode: u32, rd: Reg, offset: i64) -> u32 {
+    let imm = offset as u32;
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (imm & 0xFF000)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+fn alu_funct(op: AluOp) -> (u32, u32, bool) {
+    // (funct3, funct7, is_32bit)
+    match op {
+        AluOp::Add => (0b000, 0b0000000, false),
+        AluOp::Sub => (0b000, 0b0100000, false),
+        AluOp::Sll => (0b001, 0b0000000, false),
+        AluOp::Slt => (0b010, 0b0000000, false),
+        AluOp::Sltu => (0b011, 0b0000000, false),
+        AluOp::Xor => (0b100, 0b0000000, false),
+        AluOp::Srl => (0b101, 0b0000000, false),
+        AluOp::Sra => (0b101, 0b0100000, false),
+        AluOp::Or => (0b110, 0b0000000, false),
+        AluOp::And => (0b111, 0b0000000, false),
+        AluOp::AddW => (0b000, 0b0000000, true),
+        AluOp::SubW => (0b000, 0b0100000, true),
+        AluOp::SllW => (0b001, 0b0000000, true),
+        AluOp::SrlW => (0b101, 0b0000000, true),
+        AluOp::SraW => (0b101, 0b0100000, true),
+    }
+}
+
+fn muldiv_funct(op: MulDivOp) -> (u32, bool) {
+    match op {
+        MulDivOp::Mul => (0b000, false),
+        MulDivOp::Mulh => (0b001, false),
+        MulDivOp::Mulhsu => (0b010, false),
+        MulDivOp::Mulhu => (0b011, false),
+        MulDivOp::Div => (0b100, false),
+        MulDivOp::Divu => (0b101, false),
+        MulDivOp::Rem => (0b110, false),
+        MulDivOp::Remu => (0b111, false),
+        MulDivOp::MulW => (0b000, true),
+        MulDivOp::DivW => (0b100, true),
+        MulDivOp::DivuW => (0b101, true),
+        MulDivOp::RemW => (0b110, true),
+        MulDivOp::RemuW => (0b111, true),
+    }
+}
+
+/// Encodes an instruction to its 32-bit RISC-V machine word.
+///
+/// # Panics
+///
+/// Panics if an immediate or offset does not fit its encoding field (the
+/// assembler validates ranges before calling this; direct callers must do
+/// the same).
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::{encode, Inst, Reg, AluOp};
+/// // addi a0, a0, 1
+/// let word = encode(&Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 });
+/// assert_eq!(word, 0x0015_0513);
+/// ```
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "lui immediate must be 4KiB aligned");
+            u_type(OPC_LUI, rd, imm)
+        }
+        Inst::Auipc { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "auipc immediate must be 4KiB aligned");
+            u_type(OPC_AUIPC, rd, imm)
+        }
+        Inst::Jal { rd, offset } => {
+            check_range(offset, 21, "jal offset");
+            assert_eq!(offset & 1, 0, "jal offset must be even");
+            j_type(OPC_JAL, rd, offset)
+        }
+        Inst::Jalr { rd, rs1, offset } => {
+            check_range(offset, 12, "jalr offset");
+            i_type(OPC_JALR, 0b000, rd, rs1, offset)
+        }
+        Inst::Branch { op, rs1, rs2, offset } => {
+            check_range(offset, 13, "branch offset");
+            assert_eq!(offset & 1, 0, "branch offset must be even");
+            let funct3 = match op {
+                BranchOp::Beq => 0b000,
+                BranchOp::Bne => 0b001,
+                BranchOp::Blt => 0b100,
+                BranchOp::Bge => 0b101,
+                BranchOp::Bltu => 0b110,
+                BranchOp::Bgeu => 0b111,
+            };
+            b_type(OPC_BRANCH, funct3, rs1, rs2, offset)
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            check_range(offset, 12, "load offset");
+            let funct3 = match op {
+                LoadOp::Lb => 0b000,
+                LoadOp::Lh => 0b001,
+                LoadOp::Lw => 0b010,
+                LoadOp::Ld => 0b011,
+                LoadOp::Lbu => 0b100,
+                LoadOp::Lhu => 0b101,
+                LoadOp::Lwu => 0b110,
+            };
+            i_type(OPC_LOAD, funct3, rd, rs1, offset)
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            check_range(offset, 12, "store offset");
+            let funct3 = match op {
+                StoreOp::Sb => 0b000,
+                StoreOp::Sh => 0b001,
+                StoreOp::Sw => 0b010,
+                StoreOp::Sd => 0b011,
+            };
+            s_type(OPC_STORE, funct3, rs1, rs2, offset)
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            assert!(op.has_imm_form(), "{op:?} has no immediate form");
+            let (funct3, funct7, is32) = alu_funct(op);
+            let opcode = if is32 { OPC_OP_IMM_32 } else { OPC_OP_IMM };
+            match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    assert!((0..64).contains(&imm), "shift amount out of range");
+                    i_type(opcode, funct3, rd, rs1, imm | ((funct7 as i64) << 5))
+                }
+                AluOp::SllW | AluOp::SrlW | AluOp::SraW => {
+                    assert!((0..32).contains(&imm), "shift amount out of range");
+                    i_type(opcode, funct3, rd, rs1, imm | ((funct7 as i64) << 5))
+                }
+                _ => {
+                    check_range(imm, 12, "immediate");
+                    i_type(opcode, funct3, rd, rs1, imm)
+                }
+            }
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (funct3, funct7, is32) = alu_funct(op);
+            let opcode = if is32 { OPC_OP_32 } else { OPC_OP };
+            r_type(opcode, funct3, funct7, rd, rs1, rs2)
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            let (funct3, is32) = muldiv_funct(op);
+            let opcode = if is32 { OPC_OP_32 } else { OPC_OP };
+            r_type(opcode, funct3, 0b0000001, rd, rs1, rs2)
+        }
+        Inst::Csr { op, rd, rs1, csr } => {
+            let funct3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            i_type(OPC_SYSTEM, funct3, rd, rs1, csr as i64)
+        }
+        Inst::Ecall => i_type(OPC_SYSTEM, 0b000, Reg::ZERO, Reg::ZERO, 0),
+        Inst::Ebreak => i_type(OPC_SYSTEM, 0b000, Reg::ZERO, Reg::ZERO, 1),
+        Inst::Fence => i_type(OPC_MISC_MEM, 0b000, Reg::ZERO, Reg::ZERO, 0),
+    }
+}
+
+fn check_range(value: i64, bits: u32, what: &str) {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    assert!(
+        (min..=max).contains(&value),
+        "{what} {value} does not fit in {bits} signed bits"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the RISC-V spec / GNU as output.
+        // addi a0, a0, 1
+        assert_eq!(
+            encode(&Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 }),
+            0x0015_0513
+        );
+        // add a0, a1, a2
+        assert_eq!(
+            encode(&Inst::Op {
+                op: AluOp::Add,
+                rd: Reg::new(10),
+                rs1: Reg::new(11),
+                rs2: Reg::new(12)
+            }),
+            0x00C5_8533
+        );
+        // lui a0, 0x12345
+        assert_eq!(encode(&Inst::Lui { rd: Reg::new(10), imm: 0x12345 << 12 }), 0x1234_5537);
+        // ecall
+        assert_eq!(encode(&Inst::Ecall), 0x0000_0073);
+        // ld a1, 8(sp)
+        assert_eq!(
+            encode(&Inst::Load { op: LoadOp::Ld, rd: Reg::new(11), rs1: Reg::SP, offset: 8 }),
+            0x0081_3583
+        );
+        // sd a1, 16(sp)
+        assert_eq!(
+            encode(&Inst::Store { op: StoreOp::Sd, rs1: Reg::SP, rs2: Reg::new(11), offset: 16 }),
+            0x00B1_3823
+        );
+        // mul a0, a1, a2
+        assert_eq!(
+            encode(&Inst::MulDiv {
+                op: MulDivOp::Mul,
+                rd: Reg::new(10),
+                rs1: Reg::new(11),
+                rs2: Reg::new(12)
+            }),
+            0x02C5_8533
+        );
+        // beq a0, a1, +16
+        assert_eq!(
+            encode(&Inst::Branch {
+                op: BranchOp::Beq,
+                rs1: Reg::new(10),
+                rs2: Reg::new(11),
+                offset: 16
+            }),
+            0x00B5_0863
+        );
+        // jal ra, +2048 -- imm[11] set
+        assert_eq!(encode(&Inst::Jal { rd: Reg::RA, offset: 2048 }), 0x0010_00EF);
+    }
+
+    #[test]
+    fn srai_encodes_funct6() {
+        // srai a0, a0, 3
+        let w = encode(&Inst::OpImm { op: AluOp::Sra, rd: Reg::new(10), rs1: Reg::new(10), imm: 3 });
+        assert_eq!(w, 0x4035_5513);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn immediate_overflow_panics() {
+        encode(&Inst::OpImm { op: AluOp::Add, rd: Reg::new(1), rs1: Reg::new(1), imm: 4096 });
+    }
+
+    #[test]
+    #[should_panic(expected = "no immediate form")]
+    fn subi_rejected() {
+        encode(&Inst::OpImm { op: AluOp::Sub, rd: Reg::new(1), rs1: Reg::new(1), imm: 1 });
+    }
+
+    #[test]
+    fn negative_branch_offset() {
+        let w = encode(&Inst::Branch {
+            op: BranchOp::Bne,
+            rs1: Reg::new(5),
+            rs2: Reg::ZERO,
+            offset: -4,
+        });
+        // bne t0, zero, -4  => 0xfe029ee3
+        assert_eq!(w, 0xFE02_9EE3);
+    }
+}

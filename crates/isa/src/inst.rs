@@ -1,0 +1,289 @@
+use crate::Reg;
+
+/// Integer ALU operation (register-register or register-immediate form).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    /// 32-bit add, sign-extended result (`addw`/`addiw`).
+    AddW,
+    /// 32-bit subtract (`subw`). No immediate form exists.
+    SubW,
+    SllW,
+    SrlW,
+    SraW,
+}
+
+impl AluOp {
+    /// Whether an immediate (`OP-IMM`) form of this operation exists.
+    pub fn has_imm_form(self) -> bool {
+        !matches!(self, AluOp::Sub | AluOp::SubW)
+    }
+}
+
+/// `M` extension multiply/divide operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    MulW,
+    DivW,
+    DivuW,
+    RemW,
+    RemuW,
+}
+
+impl MulDivOp {
+    /// True for divide/remainder operations (iterative, long-latency unit).
+    pub fn is_div(self) -> bool {
+        use MulDivOp::*;
+        matches!(self, Div | Divu | Rem | Remu | DivW | DivuW | RemW | RemuW)
+    }
+}
+
+/// Conditional branch comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+}
+
+/// Load width/signedness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LoadOp {
+    Lb,
+    Lh,
+    Lw,
+    Ld,
+    Lbu,
+    Lhu,
+    Lwu,
+}
+
+impl LoadOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            LoadOp::Lb | LoadOp::Lbu => 1,
+            LoadOp::Lh | LoadOp::Lhu => 2,
+            LoadOp::Lw | LoadOp::Lwu => 4,
+            LoadOp::Ld => 8,
+        }
+    }
+}
+
+/// Store width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    Sb,
+    Sh,
+    Sw,
+    Sd,
+}
+
+impl StoreOp {
+    /// Access size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            StoreOp::Sb => 1,
+            StoreOp::Sh => 2,
+            StoreOp::Sw => 4,
+            StoreOp::Sd => 8,
+        }
+    }
+}
+
+/// CSR access flavor. Only register forms are modeled (the immediate forms
+/// are not needed by the kernels).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// `csrrw` — atomic read/write.
+    Rw,
+    /// `csrrs` — atomic read and set bits.
+    Rs,
+    /// `csrrc` — atomic read and clear bits.
+    Rc,
+}
+
+/// A decoded RV64IM instruction.
+///
+/// Offsets in branch/jump/load/store variants are byte offsets relative to
+/// the instruction's own PC (branches, `jal`) or to `rs1` (loads, stores,
+/// `jalr`), exactly as the immediate encodes them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `lui rd, imm` — load upper immediate (`imm` is the already-shifted
+    /// 32-bit value, sign-extended to 64 bits).
+    Lui { rd: Reg, imm: i64 },
+    /// `auipc rd, imm` — add upper immediate to PC.
+    Auipc { rd: Reg, imm: i64 },
+    /// `jal rd, offset` — jump and link.
+    Jal { rd: Reg, offset: i64 },
+    /// `jalr rd, offset(rs1)` — indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i64 },
+    /// Conditional branch.
+    Branch { op: BranchOp, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Memory load.
+    Load { op: LoadOp, rd: Reg, rs1: Reg, offset: i64 },
+    /// Memory store.
+    Store { op: StoreOp, rs1: Reg, rs2: Reg, offset: i64 },
+    /// Register-immediate ALU operation.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i64 },
+    /// Register-register ALU operation.
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// `M` extension multiply/divide.
+    MulDiv { op: MulDivOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// CSR access (used for MicroSampler trace markers).
+    Csr { op: CsrOp, rd: Reg, rs1: Reg, csr: u16 },
+    /// Environment call — terminates simulation in this framework.
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Memory fence (modeled as a pipeline-ordering no-op).
+    Fence,
+}
+
+impl Inst {
+    /// Canonical no-op (`addi x0, x0, 0`).
+    pub const NOP: Inst = Inst::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 };
+
+    /// Destination register, if the instruction writes one (writes to `x0`
+    /// are reported as `None` — they are architecturally void).
+    pub fn rd(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::OpImm { rd, .. }
+            | Inst::Op { rd, .. }
+            | Inst::MulDiv { rd, .. }
+            | Inst::Csr { rd, .. } => rd,
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some(rd)
+    }
+
+    /// Source registers, in operand order. `x0` sources are included (they
+    /// read as zero but still occupy an operand slot).
+    pub fn sources(&self) -> (Option<Reg>, Option<Reg>) {
+        match *self {
+            Inst::Jalr { rs1, .. } | Inst::Load { rs1, .. } | Inst::OpImm { rs1, .. } => {
+                (Some(rs1), None)
+            }
+            Inst::Csr { rs1, .. } => (Some(rs1), None),
+            Inst::Branch { rs1, rs2, .. }
+            | Inst::Store { rs1, rs2, .. }
+            | Inst::Op { rs1, rs2, .. }
+            | Inst::MulDiv { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            _ => (None, None),
+        }
+    }
+
+    /// True for conditional branches.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. })
+    }
+
+    /// True for any control-flow transfer (branch, `jal`, `jalr`).
+    pub fn is_control_flow(&self) -> bool {
+        matches!(self, Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. })
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// True if this is a call-shaped jump (`jal`/`jalr` linking into `ra`).
+    pub fn is_call(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } if *rd == Reg::RA
+        )
+    }
+
+    /// True if this is a return-shaped jump (`jalr x0, 0(ra)`).
+    pub fn is_return(&self) -> bool {
+        matches!(
+            self,
+            Inst::Jalr { rd, rs1, .. } if rd.is_zero() && *rs1 == Reg::RA
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rd_of_x0_write_is_none() {
+        let i = Inst::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::new(5), imm: 1 };
+        assert_eq!(i.rd(), None);
+    }
+
+    #[test]
+    fn rd_of_normal_write() {
+        let i = Inst::Op { op: AluOp::Xor, rd: Reg::new(7), rs1: Reg::new(1), rs2: Reg::new(2) };
+        assert_eq!(i.rd(), Some(Reg::new(7)));
+    }
+
+    #[test]
+    fn call_and_return_shapes() {
+        let call = Inst::Jal { rd: Reg::RA, offset: 64 };
+        assert!(call.is_call());
+        assert!(!call.is_return());
+        let ret = Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 };
+        assert!(ret.is_return());
+        assert!(!ret.is_call());
+        let plain_j = Inst::Jal { rd: Reg::ZERO, offset: -8 };
+        assert!(!plain_j.is_call() && !plain_j.is_return());
+    }
+
+    #[test]
+    fn store_sources() {
+        let s = Inst::Store { op: StoreOp::Sd, rs1: Reg::new(2), rs2: Reg::new(3), offset: 8 };
+        assert_eq!(s.sources(), (Some(Reg::new(2)), Some(Reg::new(3))));
+        assert_eq!(s.rd(), None);
+        assert!(s.is_store());
+    }
+
+    #[test]
+    fn imm_forms() {
+        assert!(AluOp::Add.has_imm_form());
+        assert!(!AluOp::Sub.has_imm_form());
+        assert!(!AluOp::SubW.has_imm_form());
+    }
+
+    #[test]
+    fn div_classification() {
+        assert!(MulDivOp::Rem.is_div());
+        assert!(MulDivOp::DivuW.is_div());
+        assert!(!MulDivOp::Mul.is_div());
+        assert!(!MulDivOp::MulW.is_div());
+    }
+}

@@ -1,0 +1,78 @@
+//! RV64IM subset for the MicroSampler framework.
+//!
+//! This crate provides everything needed to get constant-time kernels from
+//! readable text assembly into a simulated machine:
+//!
+//! * [`Reg`] — architectural register names (`x0..x31` plus ABI aliases).
+//! * [`Inst`] — a typed instruction model for the RV64IM subset used by the
+//!   case studies (integer ALU ops, loads/stores, branches, jumps, `M`
+//!   extension, CSR accesses used as trace markers, `ecall`).
+//! * [`encode`]/[`decode`] — lossless binary encoding per the RISC-V
+//!   unprivileged specification.
+//! * [`assemble`](asm::assemble) — a two-pass text assembler with labels,
+//!   data directives and the usual pseudo-instructions (`li`, `mv`, `j`,
+//!   `call`, `ret`, `beqz`, …).
+//! * [`Program`] — a loadable image (text + data sections, symbols, entry).
+//!
+//! # Example
+//!
+//! ```
+//! use microsampler_isa::asm::assemble;
+//!
+//! let program = assemble(
+//!     r#"
+//!     .text
+//!     start:
+//!         li   a0, 40
+//!         addi a0, a0, 2
+//!         ecall
+//!     "#,
+//! )?;
+//! assert_eq!(program.text.len(), 4 * 3);
+//! # Ok::<(), microsampler_isa::asm::AsmError>(())
+//! ```
+
+pub mod asm;
+mod decode;
+mod disasm;
+mod encode;
+mod inst;
+mod program;
+mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use disasm::disassemble;
+pub use encode::encode;
+pub use inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, StoreOp};
+pub use program::{Program, Section, Symbol, DATA_BASE, STACK_TOP, TEXT_BASE};
+pub use reg::Reg;
+
+/// Marker CSR: writing it (value ignored) opens the security-critical region.
+pub const CSR_SCR_START: u16 = 0x8C0;
+/// Marker CSR: writing it closes the security-critical region.
+pub const CSR_SCR_END: u16 = 0x8C1;
+/// Marker CSR: writing it begins an iteration; the written value is the
+/// iteration's secret-class label (e.g. the key bit being processed).
+pub const CSR_ITER_START: u16 = 0x8C2;
+/// Marker CSR: writing it ends the current iteration.
+pub const CSR_ITER_END: u16 = 0x8C3;
+/// Marker CSR: writing it requests simulation exit; the value is the exit code.
+pub const CSR_EXIT: u16 = 0x8C4;
+/// Attacker-model CSR: writing it flushes the D-cache line containing the
+/// written address (models `clflush`/eviction by a co-located attacker).
+pub const CSR_FLUSH_LINE: u16 = 0x8C5;
+/// Attacker-model CSR: writing it flushes the entire D-cache.
+pub const CSR_FLUSH_DCACHE: u16 = 0x8C6;
+/// Attacker-model CSR: writing it flushes the data TLB.
+pub const CSR_FLUSH_TLB: u16 = 0x8C7;
+/// Harness CSR: reading it (`csrr`) pops the next word from the host-supplied
+/// input queue (0 when empty). Reads are non-speculative: the core only
+/// executes them at the head of the ROB.
+pub const CSR_INPUT: u16 = 0x8C8;
+/// Harness CSR: writing it (`csrw`) appends the value to the host-visible
+/// output vector at commit.
+pub const CSR_OUTPUT: u16 = 0x8C9;
+/// The standard RISC-V `cycle` CSR. Reading it returns the current cycle
+/// count (the golden-model interpreter returns its retired-instruction
+/// count instead — programs that read it cannot be differentially tested).
+pub const CSR_CYCLE: u16 = 0xC00;

@@ -1,0 +1,140 @@
+use std::collections::BTreeMap;
+
+/// Default virtual address where `.text` is loaded.
+pub const TEXT_BASE: u64 = 0x8000_0000;
+/// Default virtual address where `.data` is loaded (a separate page group).
+pub const DATA_BASE: u64 = 0x8010_0000;
+/// Default initial stack pointer (grows down, own page group).
+pub const STACK_TOP: u64 = 0x8080_0000;
+
+/// Which section a symbol or chunk of bytes belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Executable code.
+    Text,
+    /// Initialized data.
+    Data,
+}
+
+/// A named address produced by a label in the assembly source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Label name as written in the source.
+    pub name: String,
+    /// Absolute virtual address.
+    pub addr: u64,
+    /// Section the label was defined in.
+    pub section: Section,
+}
+
+/// A loadable program image: text and data bytes plus a symbol table.
+///
+/// Produced by [`crate::asm::assemble`]; consumed by the simulator's loader.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Machine code, loaded at [`Program::text_base`].
+    pub text: Vec<u8>,
+    /// Initialized data, loaded at [`Program::data_base`].
+    pub data: Vec<u8>,
+    /// Text section load address.
+    pub text_base: u64,
+    /// Data section load address.
+    pub data_base: u64,
+    /// Entry point (address of the first instruction or of the `_start`
+    /// label when one is defined).
+    pub entry: u64,
+    symbols: BTreeMap<String, Symbol>,
+}
+
+impl Program {
+    /// Creates an empty program with default load addresses.
+    pub fn new() -> Program {
+        Program {
+            text: Vec::new(),
+            data: Vec::new(),
+            text_base: TEXT_BASE,
+            data_base: DATA_BASE,
+            entry: TEXT_BASE,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol is not defined; intended for test and harness
+    /// code where a missing symbol is a programming error.
+    pub fn symbol_addr(&self, name: &str) -> u64 {
+        self.symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("symbol `{name}` not defined"))
+            .addr
+    }
+
+    /// Iterates over all symbols in name order.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.values()
+    }
+
+    pub(crate) fn insert_symbol(&mut self, sym: Symbol) -> Result<(), String> {
+        if self.symbols.contains_key(&sym.name) {
+            return Err(format!("duplicate label `{}`", sym.name));
+        }
+        self.symbols.insert(sym.name.clone(), sym);
+        Ok(())
+    }
+
+    /// Number of instructions in the text section.
+    pub fn inst_count(&self) -> usize {
+        self.text.len() / 4
+    }
+
+    /// Decodes the instruction at a text-section virtual address.
+    ///
+    /// Returns `None` when the address falls outside the text section or is
+    /// not 4-byte aligned.
+    pub fn inst_at(&self, addr: u64) -> Option<crate::Inst> {
+        if addr < self.text_base || !addr.is_multiple_of(4) {
+            return None;
+        }
+        let off = (addr - self.text_base) as usize;
+        let bytes = self.text.get(off..off + 4)?;
+        crate::decode(u32::from_le_bytes(bytes.try_into().unwrap())).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let mut p = Program::new();
+        p.insert_symbol(Symbol { name: "a".into(), addr: 0, section: Section::Text }).unwrap();
+        assert!(p
+            .insert_symbol(Symbol { name: "a".into(), addr: 4, section: Section::Text })
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "not defined")]
+    fn missing_symbol_panics() {
+        Program::new().symbol_addr("nope");
+    }
+
+    #[test]
+    fn inst_at_bounds() {
+        let mut p = Program::new();
+        p.text = crate::encode(&crate::Inst::Ecall).to_le_bytes().to_vec();
+        assert_eq!(p.inst_at(p.text_base), Some(crate::Inst::Ecall));
+        assert_eq!(p.inst_at(p.text_base + 4), None);
+        assert_eq!(p.inst_at(p.text_base + 1), None);
+        assert_eq!(p.inst_at(0), None);
+    }
+}

@@ -1,0 +1,138 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// An architectural integer register, `x0` through `x31`.
+///
+/// `x0` is hard-wired to zero. The type stores the raw index and knows both
+/// numeric (`x10`) and ABI (`a0`) spellings.
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::Reg;
+/// let a0: Reg = "a0".parse()?;
+/// assert_eq!(a0, Reg::new(10));
+/// assert_eq!(a0.to_string(), "a0");
+/// # Ok::<(), microsampler_isa::asm::AsmError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// ABI names in index order.
+pub(crate) const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// The zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return-address register `x1` (`ra`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2` (`sp`).
+    pub const SP: Reg = Reg(2);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// The register's index, `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True for the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The ABI name, e.g. `"a0"` for `x10`.
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// All 32 registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({}/x{})", self.abi_name(), self.0)
+    }
+}
+
+impl FromStr for Reg {
+    type Err = crate::asm::AsmError;
+
+    fn from_str(s: &str) -> Result<Reg, Self::Err> {
+        if let Some(rest) = s.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                if n < 32 {
+                    return Ok(Reg(n));
+                }
+            }
+        }
+        if s == "fp" {
+            return Ok(Reg(8));
+        }
+        if let Some(idx) = ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg(idx as u8));
+        }
+        Err(crate::asm::AsmError::new(0, format!("unknown register `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_and_numeric_spellings_agree() {
+        for i in 0..32u8 {
+            let by_num: Reg = format!("x{i}").parse().unwrap();
+            let by_abi: Reg = ABI_NAMES[i as usize].parse().unwrap();
+            assert_eq!(by_num, by_abi);
+            assert_eq!(by_num.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn fp_is_s0() {
+        let fp: Reg = "fp".parse().unwrap();
+        assert_eq!(fp, Reg::new(8));
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("q0".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+
+    #[test]
+    fn all_yields_32() {
+        assert_eq!(Reg::all().count(), 32);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: every constructible instruction encodes and decodes back
+//! to itself, and assembly → disassembly → assembly is stable for concrete
+//! (label-free) instructions.
+
+use microsampler_isa::{
+    decode, disassemble, encode, AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, Reg, StoreOp,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::AddW),
+        Just(AluOp::SubW),
+        Just(AluOp::SllW),
+        Just(AluOp::SrlW),
+        Just(AluOp::SraW),
+    ]
+}
+
+fn muldiv_op() -> impl Strategy<Value = MulDivOp> {
+    prop_oneof![
+        Just(MulDivOp::Mul),
+        Just(MulDivOp::Mulh),
+        Just(MulDivOp::Mulhsu),
+        Just(MulDivOp::Mulhu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+        Just(MulDivOp::Rem),
+        Just(MulDivOp::Remu),
+        Just(MulDivOp::MulW),
+        Just(MulDivOp::DivW),
+        Just(MulDivOp::DivuW),
+        Just(MulDivOp::RemW),
+        Just(MulDivOp::RemuW),
+    ]
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+fn load_op() -> impl Strategy<Value = LoadOp> {
+    prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Ld),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+        Just(LoadOp::Lwu),
+    ]
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd)]
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (reg(), -524288i64..524288).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (reg(), -524288i64..524288).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (reg(), -1048576i64..1048576).prop_map(|(rd, o)| Inst::Jal { rd, offset: o & !1 }),
+        (reg(), reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (branch_op(), reg(), reg(), -4096i64..4096)
+            .prop_map(|(op, rs1, rs2, o)| Inst::Branch { op, rs1, rs2, offset: o & !1 }),
+        (load_op(), reg(), reg(), -2048i64..2048)
+            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
+        (store_op(), reg(), reg(), -2048i64..2048)
+            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
+        (alu_op(), reg(), reg(), -2048i64..2048).prop_filter_map("imm form", |(op, rd, rs1, imm)| {
+            if !op.has_imm_form() {
+                return None;
+            }
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(64),
+                AluOp::SllW | AluOp::SrlW | AluOp::SraW => imm.rem_euclid(32),
+                _ => imm,
+            };
+            Some(Inst::OpImm { op, rd, rs1, imm })
+        }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (muldiv_op(), reg(), reg(), reg())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        (prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)], reg(), reg(), 0u16..4096)
+            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Fence),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(i in inst()) {
+        let word = encode(&i);
+        let back = decode(word).expect("decode of encoded instruction");
+        prop_assert_eq!(back, i);
+    }
+
+    #[test]
+    fn disassembly_never_empty(i in inst()) {
+        prop_assert!(!disassemble(&i).is_empty());
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn decode_encode_fixpoint(word in any::<u32>()) {
+        // Any decodable word re-encodes to a word that decodes identically
+        // (encode may canonicalize, decode must be stable).
+        if let Ok(i) = decode(word) {
+            let w2 = encode(&i);
+            prop_assert_eq!(decode(w2).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic input generation for the case studies.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `n` random keys of `bytes` bytes each, deterministically from
+/// `seed`.
+///
+/// # Example
+///
+/// ```
+/// let keys = microsampler_kernels::inputs::random_keys(4, 8, 42);
+/// assert_eq!(keys.len(), 4);
+/// assert_eq!(keys[0].len(), 8);
+/// // Deterministic:
+/// assert_eq!(keys, microsampler_kernels::inputs::random_keys(4, 8, 42));
+/// ```
+pub fn random_keys(n: usize, bytes: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..bytes).map(|_| rng.gen()).collect()).collect()
+}
+
+/// A `CRYPTO_memcmp` trial: two 32-byte buffers and the secret class
+/// (whether they are fully equal).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemcmpTrial {
+    /// First input buffer.
+    pub a: [u8; 32],
+    /// Second input buffer.
+    pub b: [u8; 32],
+    /// 1 when `a == b`, 0 otherwise.
+    pub label: u64,
+}
+
+/// Generates memcmp trials with varying distributions of (in)equal bytes
+/// (paper §VII-C1): half fully-equal pairs, half differing at a rotating
+/// byte position to cover early/mid/late divergence.
+pub fn memcmp_trials(n: usize, seed: u64) -> Vec<MemcmpTrial> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mut a = [0u8; 32];
+            rng.fill(&mut a);
+            let mut b = a;
+            if i % 2 == 0 {
+                // Differ at a rotating position with a guaranteed-new byte.
+                let pos = (i / 2) % 32;
+                b[pos] ^= rng.gen_range(1..=255u8);
+                MemcmpTrial { a, b, label: 0 }
+            } else {
+                MemcmpTrial { a, b, label: 1 }
+            }
+        })
+        .collect()
+}
+
+/// Generates the paper's 32 fixed input pairs for the CT-MEM-CMP study
+/// (§VII-C1): "32 32-byte input values with varying distributions of
+/// (in)equal bytes". Every fourth pair is fully equal; the rest differ at a
+/// rotating byte position covering early, middle and late divergence. The
+/// **pair index is the secret class label** — repeat the pairs across many
+/// trials (see [`memcmp_schedule`]) so per-class snapshot hashes recur.
+pub fn memcmp_pairs(seed: u64) -> Vec<MemcmpTrial> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..32u64)
+        .map(|i| {
+            let mut a = [0u8; 32];
+            rng.fill(&mut a);
+            let mut b = a;
+            if i % 4 != 3 {
+                let pos = (i as usize * 11) % 32;
+                b[pos] ^= rng.gen_range(1..=255u8);
+            }
+            MemcmpTrial { a, b, label: i }
+        })
+        .collect()
+}
+
+/// Schedule of `reps` repetitions of each pair in a random order.
+///
+/// Randomizing the order decorrelates the branch-predictor context at each
+/// trial from the trial's class, standing in for the run-to-run noise of
+/// the paper's real system — without it, a fully deterministic simulator
+/// makes *any* per-class timing quirk a perfect classifier.
+pub fn memcmp_schedule(pairs: &[MemcmpTrial], reps: usize, seed: u64) -> Vec<MemcmpTrial> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5C4E_D01E);
+    let mut out: Vec<MemcmpTrial> = Vec::with_capacity(pairs.len() * reps);
+    for p in pairs {
+        out.extend(std::iter::repeat_n(p.clone(), reps));
+    }
+    // Fisher-Yates shuffle.
+    for i in (1..out.len()).rev() {
+        out.swap(i, rng.gen_range(0..=i));
+    }
+    out
+}
+
+/// Packs a 32-byte buffer into four little-endian words (the order the
+/// staging loops expect from the input CSR).
+pub fn pack_words(buf: &[u8; 32]) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for (i, chunk) in buf.chunks_exact(8).enumerate() {
+        out[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let a = random_keys(8, 16, 1);
+        let b = random_keys(8, 16, 1);
+        let c = random_keys(8, 16, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a[0], a[1], "keys within a batch should differ");
+    }
+
+    #[test]
+    fn memcmp_trials_alternate_classes() {
+        let trials = memcmp_trials(10, 7);
+        for (i, t) in trials.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(t.label, 0);
+                assert_ne!(t.a, t.b);
+                // Exactly one differing byte.
+                let diffs = t.a.iter().zip(&t.b).filter(|(x, y)| x != y).count();
+                assert_eq!(diffs, 1);
+            } else {
+                assert_eq!(t.label, 1);
+                assert_eq!(t.a, t.b);
+            }
+        }
+    }
+
+    #[test]
+    fn memcmp_pairs_cover_equal_and_unequal() {
+        let pairs = memcmp_pairs(1);
+        assert_eq!(pairs.len(), 32);
+        let equal = pairs.iter().filter(|p| p.a == p.b).count();
+        assert_eq!(equal, 8, "every fourth pair is fully equal");
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(p.label, i as u64, "label is the pair index");
+        }
+        // Differing positions vary.
+        let positions: std::collections::BTreeSet<usize> = pairs
+            .iter()
+            .filter(|p| p.a != p.b)
+            .map(|p| p.a.iter().zip(&p.b).position(|(x, y)| x != y).unwrap())
+            .collect();
+        assert!(positions.len() > 10, "diff positions should be spread out");
+    }
+
+    #[test]
+    fn schedule_repeats_every_pair() {
+        let pairs = memcmp_pairs(2);
+        let sched = memcmp_schedule(&pairs, 3, 9);
+        assert_eq!(sched.len(), 96);
+        for p in &pairs {
+            let n = sched.iter().filter(|t| t.label == p.label).count();
+            assert_eq!(n, 3, "pair {} should appear 3 times", p.label);
+        }
+    }
+
+    #[test]
+    fn pack_words_is_little_endian() {
+        let mut buf = [0u8; 32];
+        buf[0] = 0x01;
+        buf[8] = 0x02;
+        let w = pack_words(&buf);
+        assert_eq!(w[0], 1);
+        assert_eq!(w[1], 2);
+        assert_eq!(w[2], 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Scratch debugging harness for the pipeline (not part of the test suite).
+
+use microsampler_isa::asm::assemble;
+use microsampler_sim::{CoreConfig, Machine};
+
+fn main() {
+    let p = assemble(
+        "li a0, 0\nli t0, 3\nloop: add a0, a0, t0\naddi t0, t0, -1\nbgtz t0, loop\necall\n",
+    )
+    .unwrap();
+    let mut m = Machine::new(CoreConfig::small_boom(), &p);
+    m.set_debug(true);
+    match m.run(200) {
+        Ok(r) => println!("ok: cycles={} a0={}", r.cycles, m.reg(microsampler_isa::Reg::new(10))),
+        Err(e) => println!("err: {e}"),
+    }
+}

@@ -1,0 +1,229 @@
+use crate::cache::CacheConfig;
+
+/// Data prefetcher selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrefetcherKind {
+    /// No prefetching.
+    None,
+    /// Next-line prefetcher: every demand miss prefetches the following
+    /// cache line (the paper's BOOM configuration, Table III).
+    NextLine,
+}
+
+/// Full microarchitectural configuration of the simulated core.
+///
+/// The two presets mirror the paper's Table III. All counts are entries;
+/// all latencies are cycles.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Human-readable name, used in reports ("MegaBoom", "SmallBoom").
+    pub name: &'static str,
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions decoded/renamed per cycle.
+    pub decode_width: usize,
+    /// Maximum instructions issued to execution units per cycle.
+    pub issue_width: usize,
+    /// Maximum instructions committed per cycle.
+    pub commit_width: usize,
+    /// Fetch buffer capacity.
+    pub fetch_buffer_entries: usize,
+    /// Reorder buffer capacity.
+    pub rob_entries: usize,
+    /// Unified physical register file size (must exceed 32).
+    pub prf_regs: usize,
+    /// Issue queue capacity.
+    pub iq_entries: usize,
+    /// Load queue capacity.
+    pub ldq_entries: usize,
+    /// Store queue capacity.
+    pub stq_entries: usize,
+    /// Line-fill buffer capacity.
+    pub lfb_entries: usize,
+    /// Number of ALUs.
+    pub n_alus: usize,
+    /// Number of address-generation units.
+    pub n_agus: usize,
+    /// Pipelined multiplier latency.
+    pub mul_latency: u64,
+    /// Iterative (blocking) divider latency.
+    pub div_latency: u64,
+    /// gshare pattern-history-table entries (power of two).
+    pub bpred_entries: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// Return address stack depth.
+    pub ras_entries: usize,
+    /// Cycles between a mispredicted branch executing and the squash taking
+    /// effect (models BOOM's branch-kill propagation latency; during this
+    /// window the wrong path keeps fetching and renaming).
+    pub branch_kill_delay: u64,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Data TLB entries (fully associative, LRU).
+    pub tlb_entries: usize,
+    /// Page-walk latency charged on a TLB miss.
+    pub tlb_miss_latency: u64,
+    /// Data prefetcher.
+    pub prefetcher: PrefetcherKind,
+    /// Enable the "fast bypass" trivial-computation optimization
+    /// (paper §VII-B): an `AND` whose available operand is zero skips
+    /// execution, wakes dependents immediately and shares a ROB entry with
+    /// the next renamed instruction.
+    pub fast_bypass: bool,
+    /// When set, the gshare pattern history table starts in a seeded
+    /// pseudo-random weak state instead of uniformly weakly-not-taken —
+    /// models undefined power-on / residual predictor state.
+    pub bpred_random_init: Option<u64>,
+}
+
+impl CoreConfig {
+    /// The paper's MegaBoom configuration (Table III): 8-wide fetch,
+    /// 4-wide decode/issue, 128-entry ROB, 32-entry LDQ/STQ, 64 LFBs,
+    /// 64-set 8-way L1 caches, 32-entry TLB, next-line prefetcher.
+    pub fn mega_boom() -> CoreConfig {
+        CoreConfig {
+            name: "MegaBoom",
+            fetch_width: 8,
+            decode_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            fetch_buffer_entries: 32,
+            rob_entries: 128,
+            prf_regs: 128,
+            iq_entries: 32,
+            ldq_entries: 32,
+            stq_entries: 32,
+            lfb_entries: 64,
+            n_alus: 4,
+            n_agus: 2,
+            mul_latency: 3,
+            div_latency: 16,
+            bpred_entries: 2048,
+            btb_entries: 128,
+            ras_entries: 8,
+            branch_kill_delay: 5,
+            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 8, hit_latency: 3, miss_latency: 24 },
+            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1, miss_latency: 24 },
+            tlb_entries: 32,
+            tlb_miss_latency: 12,
+            prefetcher: PrefetcherKind::NextLine,
+            fast_bypass: false,
+            bpred_random_init: None,
+        }
+    }
+
+    /// The paper's SmallBoom configuration (Table III): 4-wide fetch,
+    /// 1-wide decode/issue, 32-entry ROB, 8-entry LDQ/STQ/LFB, 4-way L1D,
+    /// 8-entry TLB.
+    pub fn small_boom() -> CoreConfig {
+        CoreConfig {
+            name: "SmallBoom",
+            fetch_width: 4,
+            decode_width: 1,
+            issue_width: 1,
+            commit_width: 1,
+            fetch_buffer_entries: 8,
+            rob_entries: 32,
+            prf_regs: 52,
+            iq_entries: 8,
+            ldq_entries: 8,
+            stq_entries: 8,
+            lfb_entries: 8,
+            n_alus: 1,
+            n_agus: 1,
+            mul_latency: 3,
+            div_latency: 16,
+            bpred_entries: 2048,
+            btb_entries: 64,
+            ras_entries: 4,
+            branch_kill_delay: 3,
+            l1d: CacheConfig { sets: 64, ways: 4, line_bytes: 64, mshrs: 4, hit_latency: 3, miss_latency: 24 },
+            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1, miss_latency: 24 },
+            tlb_entries: 8,
+            tlb_miss_latency: 12,
+            prefetcher: PrefetcherKind::NextLine,
+            fast_bypass: false,
+            bpred_random_init: None,
+        }
+    }
+
+    /// Same configuration with the fast-bypass optimization enabled.
+    pub fn with_fast_bypass(mut self) -> CoreConfig {
+        self.fast_bypass = true;
+        self
+    }
+
+    /// Same configuration with a seeded random predictor initial state.
+    pub fn with_random_bpred(mut self, seed: u64) -> CoreConfig {
+        self.bpred_random_init = Some(seed);
+        self
+    }
+
+    /// A rough "design size" proxy: total architected state entries, used
+    /// for the Table VII scalability comparison.
+    pub fn state_size(&self) -> usize {
+        self.rob_entries
+            + self.prf_regs
+            + self.iq_entries
+            + self.ldq_entries
+            + self.stq_entries
+            + self.lfb_entries
+            + self.fetch_buffer_entries
+            + self.l1d.sets * self.l1d.ways
+            + self.l1i.sets * self.l1i.ways
+            + self.tlb_entries
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero widths, PRF too small to
+    /// rename all architectural registers, non-power-of-two predictor).
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.decode_width > 0, "widths must be positive");
+        assert!(self.issue_width > 0 && self.commit_width > 0, "widths must be positive");
+        assert!(self.prf_regs > 40, "PRF must comfortably exceed 32 architectural registers");
+        assert!(self.rob_entries >= self.decode_width, "ROB smaller than decode width");
+        assert!(self.bpred_entries.is_power_of_two(), "gshare table must be a power of two");
+        assert!(self.l1d.sets.is_power_of_two() && self.l1i.sets.is_power_of_two());
+        assert!(self.l1d.line_bytes.is_power_of_two());
+        assert!(self.tlb_entries > 0 && self.lfb_entries > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        CoreConfig::mega_boom().validate();
+        CoreConfig::small_boom().validate();
+    }
+
+    #[test]
+    fn mega_is_about_four_times_small() {
+        // The paper describes MegaBoom as ~4x SmallBoom in structure size.
+        let ratio = CoreConfig::mega_boom().state_size() as f64
+            / CoreConfig::small_boom().state_size() as f64;
+        assert!((1.5..6.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fast_bypass_toggle() {
+        assert!(!CoreConfig::mega_boom().fast_bypass);
+        assert!(CoreConfig::mega_boom().with_fast_bypass().fast_bypass);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_predictor_size_panics() {
+        let mut c = CoreConfig::small_boom();
+        c.bpred_entries = 1000;
+        c.validate();
+    }
+}

@@ -1,0 +1,1299 @@
+//! The out-of-order pipeline.
+//!
+//! One [`Core::tick`] call advances the machine by one cycle. Stages run in
+//! reverse pipeline order (commit → memory → issue/execute → rename →
+//! fetch) so same-cycle structural effects propagate conservatively, then
+//! the tracer samples the post-cycle state of every tracked structure.
+
+use crate::cache::{Access, Cache};
+use crate::config::{CoreConfig, PrefetcherKind};
+use crate::interp;
+use crate::memory::Memory;
+use crate::predictor::{Btb, Gshare, ReturnAddressStack};
+use crate::tlb::Tlb;
+use crate::trace::{TraceConfig, Tracer, UnitId};
+use crate::CoreStats;
+use microsampler_isa::{
+    CsrOp, Inst, Program, Reg, CSR_EXIT, CSR_FLUSH_DCACHE, CSR_FLUSH_LINE, CSR_FLUSH_TLB,
+    CSR_CYCLE, CSR_INPUT, CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START,
+    STACK_TOP,
+};
+use std::collections::VecDeque;
+
+type PReg = u16;
+
+/// A fast-bypassed operation riding on another instruction's ROB entry.
+#[derive(Clone, Debug)]
+struct FusedOp {
+    pc: u64,
+    stale_prd: Option<PReg>,
+    arch_rd: Option<Reg>,
+    prd: Option<PReg>,
+}
+
+/// A rename-map checkpoint taken at a branch or indirect jump.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    map: [PReg; 32],
+    ras: (usize, usize),
+}
+
+#[derive(Clone, Debug)]
+struct Uop {
+    seq: u64,
+    pc: u64,
+    inst: Inst,
+    prd: Option<PReg>,
+    stale_prd: Option<PReg>,
+    ps1: Option<PReg>,
+    ps2: Option<PReg>,
+    issued: bool,
+    completed: bool,
+    result: u64,
+    // Branch/jump prediction state.
+    pred_taken: bool,
+    pred_target: u64,
+    hist_before: u64,
+    checkpoint: Option<Checkpoint>,
+    // Fused fast-bypass ops (in program order, all *older* than this uop).
+    fused: Vec<FusedOp>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LdState {
+    WaitAddr,
+    Ready,
+    Pending,
+    Done,
+}
+
+#[derive(Clone, Debug)]
+struct LdqEntry {
+    seq: u64,
+    pc: u64,
+    addr: Option<u64>,
+    size: u64,
+    state: LdState,
+    done_cycle: u64,
+    extra_delay: u64,
+    tlb_done: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum StState {
+    WaitAddr,
+    WaitData,
+    Ready,
+    Draining,
+    Drained,
+}
+
+#[derive(Clone, Debug)]
+struct StqEntry {
+    seq: u64,
+    pc: u64,
+    addr: Option<u64>,
+    size: u64,
+    data: Option<u64>,
+    state: StState,
+    drain_done: u64,
+    tlb_done: bool,
+    committed: bool,
+}
+
+#[derive(Clone, Debug)]
+struct FetchEntry {
+    pc: u64,
+    inst: Inst,
+    pred_taken: bool,
+    pred_target: u64,
+    hist_before: u64,
+    ras_cp: (usize, usize),
+}
+
+/// A multiply or divide executing in a long-latency unit.
+#[derive(Clone, Copy, Debug)]
+struct LongOp {
+    seq: u64,
+    pc: u64,
+    done_cycle: u64,
+    value: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PendingSquash {
+    branch_seq: u64,
+    apply_at: u64,
+    redirect_to: u64,
+    actual_taken: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum CoreExit {
+    Ecall,
+    ExitCsr(u64),
+}
+
+pub(crate) struct Core {
+    pub cfg: CoreConfig,
+    pub mem: Memory,
+    pub cycle: u64,
+    pub stats: CoreStats,
+    pub tracer: Tracer,
+    pub arch_regs: [u64; 32],
+    // Front end.
+    fetch_pc: u64,
+    fetch_buffer: VecDeque<FetchEntry>,
+    gshare: Gshare,
+    btb: Btb,
+    ras: ReturnAddressStack,
+    redirect_bubble: u64,
+    icache_stall_until: u64,
+    l1i: Cache,
+    // Rename.
+    map: [PReg; 32],
+    free_pregs: Vec<PReg>,
+    prf: Vec<u64>,
+    prf_ready: Vec<bool>,
+    /// Cycle at which each physical register's value becomes usable by
+    /// consumers (models the one-cycle producer→consumer bypass).
+    prf_ready_at: Vec<u64>,
+    pending_fusion: Vec<FusedOp>,
+    // Back end.
+    rob: VecDeque<Uop>,
+    rob_base_seq: u64,
+    next_seq: u64,
+    iq: Vec<u64>,
+    ldq: VecDeque<LdqEntry>,
+    stq: VecDeque<StqEntry>,
+    l1d: Cache,
+    tlb: Tlb,
+    pending_squashes: Vec<PendingSquash>,
+    // Execution unit occupancy for the current cycle (EUU traces).
+    alu_busy: Vec<u64>,
+    agu_busy: Vec<u64>,
+    mul_inflight: Vec<LongOp>,
+    div_busy: Option<LongOp>,
+    // Per-cycle trace scratch.
+    nlp_issued: Vec<u64>,
+    dcache_reqs: Vec<u64>,
+    // Progress watchdog.
+    last_commit_cycle: u64,
+    text_base: u64,
+    text_len: u64,
+    pub exit: Option<CoreExit>,
+    /// Words served to non-speculative `csrr` reads of [`CSR_INPUT`].
+    pub input_queue: VecDeque<u64>,
+    /// Words written via [`CSR_OUTPUT`] (pushed at commit).
+    pub outputs: Vec<u64>,
+    /// Per-cycle state dump to stderr (debugging aid).
+    pub debug: bool,
+}
+
+impl Core {
+    pub fn new(cfg: CoreConfig, program: &Program, trace_cfg: TraceConfig) -> Core {
+        cfg.validate();
+        let mut mem = Memory::new();
+        mem.write_bytes(program.text_base, &program.text);
+        mem.write_bytes(program.data_base, &program.data);
+        let mut map = [0 as PReg; 32];
+        let mut prf = vec![0u64; cfg.prf_regs];
+        let prf_ready_at = vec![0u64; cfg.prf_regs];
+        let mut prf_ready = vec![false; cfg.prf_regs];
+        for (i, m) in map.iter_mut().enumerate() {
+            *m = i as PReg;
+            prf_ready[i] = true;
+        }
+        prf[Reg::SP.index()] = STACK_TOP;
+        let free_pregs: Vec<PReg> = (32..cfg.prf_regs as PReg).rev().collect();
+        let mut arch_regs = [0u64; 32];
+        arch_regs[Reg::SP.index()] = STACK_TOP;
+        Core {
+            fetch_pc: program.entry,
+            fetch_buffer: VecDeque::new(),
+            gshare: match cfg.bpred_random_init {
+                Some(seed) => Gshare::new_randomized(cfg.bpred_entries, seed),
+                None => Gshare::new(cfg.bpred_entries),
+            },
+            btb: Btb::new(cfg.btb_entries),
+            ras: ReturnAddressStack::new(cfg.ras_entries),
+            redirect_bubble: 0,
+            icache_stall_until: 0,
+            l1i: Cache::new(cfg.l1i, cfg.l1i.mshrs),
+            map,
+            free_pregs,
+            prf,
+            prf_ready,
+            prf_ready_at,
+            pending_fusion: Vec::new(),
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob_base_seq: 0,
+            next_seq: 0,
+            iq: Vec::with_capacity(cfg.iq_entries),
+            ldq: VecDeque::with_capacity(cfg.ldq_entries),
+            stq: VecDeque::with_capacity(cfg.stq_entries),
+            l1d: Cache::new(cfg.l1d, cfg.lfb_entries),
+            tlb: Tlb::new(cfg.tlb_entries),
+            pending_squashes: Vec::new(),
+            alu_busy: vec![0; cfg.n_alus],
+            agu_busy: vec![0; cfg.n_agus],
+            mul_inflight: Vec::new(),
+            div_busy: None,
+            nlp_issued: Vec::new(),
+            dcache_reqs: Vec::new(),
+            last_commit_cycle: 0,
+            text_base: program.text_base,
+            text_len: program.text.len() as u64,
+            arch_regs,
+            mem,
+            cycle: 0,
+            stats: CoreStats::default(),
+            tracer: Tracer::new(trace_cfg),
+            cfg,
+            exit: None,
+            input_queue: VecDeque::new(),
+            outputs: Vec::new(),
+            debug: false,
+        }
+    }
+
+    fn debug_dump(&self) {
+        eprintln!(
+            "c{} fpc={:#x} bub={} fb={} iq={:?} squash={:?}",
+            self.cycle,
+            self.fetch_pc,
+            self.redirect_bubble,
+            self.fetch_buffer.len(),
+            self.iq,
+            self.pending_squashes.iter().map(|p| (p.branch_seq, p.apply_at)).collect::<Vec<_>>(),
+        );
+        for u in &self.rob {
+            eprintln!(
+                "  rob seq={} pc={:#x} {:?} issued={} done={}",
+                u.seq, u.pc, u.inst, u.issued, u.completed
+            );
+        }
+        for e in &self.stq {
+            eprintln!("  stq seq={} addr={:?} state={:?}", e.seq, e.addr, e.state);
+        }
+        for e in &self.ldq {
+            eprintln!("  ldq seq={} addr={:?} state={:?}", e.seq, e.addr, e.state);
+        }
+    }
+
+    fn rob_index(&self, seq: u64) -> Option<usize> {
+        let idx = seq.checked_sub(self.rob_base_seq)? as usize;
+        (idx < self.rob.len()).then_some(idx)
+    }
+
+    fn uop(&self, seq: u64) -> &Uop {
+        &self.rob[self.rob_index(seq).expect("live uop")]
+    }
+
+    fn uop_mut(&mut self, seq: u64) -> &mut Uop {
+        let idx = self.rob_index(seq).expect("live uop");
+        &mut self.rob[idx]
+    }
+
+    fn preg_of(&self, r: Reg) -> PReg {
+        if r.is_zero() {
+            0
+        } else {
+            self.map[r.index()]
+        }
+    }
+
+    fn read_preg(&self, p: PReg) -> u64 {
+        if p == 0 {
+            0
+        } else {
+            self.prf[p as usize]
+        }
+    }
+
+    fn preg_ready(&self, p: Option<PReg>) -> bool {
+        match p {
+            None => true,
+            Some(0) => true,
+            Some(p) => {
+                self.prf_ready[p as usize] && self.prf_ready_at[p as usize] <= self.cycle
+            }
+        }
+    }
+
+    /// Advances one cycle. Sets `self.exit` when the program stops.
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        self.alu_busy.iter_mut().for_each(|b| *b = 0);
+        self.agu_busy.iter_mut().for_each(|b| *b = 0);
+        self.nlp_issued.clear();
+        self.dcache_reqs.clear();
+
+        self.l1d.tick(self.cycle);
+        self.l1i.tick(self.cycle);
+        self.apply_squash();
+        self.commit();
+        if self.exit.is_some() {
+            return;
+        }
+        self.complete_long_ops();
+        self.lsu_tick();
+        self.issue();
+        self.rename();
+        self.fetch();
+        self.sample_trace();
+        if self.debug {
+            self.debug_dump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        for _ in 0..self.cfg.commit_width {
+            let Some(head) = self.rob.front() else { break };
+            if !head.completed {
+                break;
+            }
+            // A mispredicted branch stalls at commit until its squash has
+            // been applied — the checkpoint it carries is needed for
+            // recovery.
+            if self.pending_squashes.iter().any(|ps| ps.branch_seq == head.seq) {
+                break;
+            }
+            // Stores must have drained their STQ slot requirements met at
+            // commit time; the drain itself continues in the background.
+            let head = self.rob.pop_front().expect("head exists");
+            self.rob_base_seq = head.seq + 1;
+            self.last_commit_cycle = self.cycle;
+            self.stats.committed += 1 + head.fused.len() as u64;
+            // Free stale physical registers.
+            for f in &head.fused {
+                if let Some(stale) = f.stale_prd {
+                    self.free_pregs.push(stale);
+                }
+                if let (Some(rd), Some(prd)) = (f.arch_rd, f.prd) {
+                    self.arch_regs[rd.index()] = self.read_preg(prd);
+                }
+            }
+            if let Some(stale) = head.stale_prd {
+                self.free_pregs.push(stale);
+            }
+            if let (Some(rd), Some(prd)) = (head.inst.rd(), head.prd) {
+                self.arch_regs[rd.index()] = self.read_preg(prd);
+            }
+            match head.inst {
+                Inst::Branch { .. } => {
+                    self.stats.branches += 1;
+                    let taken = head.result & 1 == 1;
+                    self.gshare.train(head.pc, head.hist_before, taken);
+                }
+                Inst::Jalr { .. } => {
+                    self.btb.update(head.pc, head.result);
+                }
+                Inst::Load { .. }
+                    if self.ldq.front().map(|e| e.seq) == Some(head.seq) => {
+                        self.ldq.pop_front();
+                    }
+                Inst::Store { .. } => {
+                    self.commit_store(head.seq);
+                }
+                Inst::Csr { op: CsrOp::Rw, csr, .. } => {
+                    self.commit_marker(csr, head.result);
+                }
+                Inst::Ecall => {
+                    self.exit = Some(CoreExit::Ecall);
+                    return;
+                }
+                _ => {}
+            }
+            if self.exit.is_some() {
+                return;
+            }
+        }
+    }
+
+    fn commit_store(&mut self, seq: u64) {
+        let Some(entry) = self.stq.iter_mut().find(|e| e.seq == seq) else { return };
+        let addr = entry.addr.expect("committed store has an address");
+        let data = entry.data.expect("committed store has data");
+        let size = entry.size;
+        entry.committed = true;
+        entry.state = StState::Draining;
+        self.mem.write_le(addr, size, data);
+    }
+
+    fn commit_marker(&mut self, csr: u16, value: u64) {
+        match csr {
+            CSR_SCR_START => self.tracer.scr_start(self.cycle),
+            CSR_SCR_END => self.tracer.scr_end(self.cycle),
+            CSR_ITER_START => self.tracer.iter_start(self.cycle, value),
+            CSR_ITER_END => self.tracer.iter_end(self.cycle),
+            CSR_EXIT => self.exit = Some(CoreExit::ExitCsr(value)),
+            CSR_FLUSH_LINE => self.l1d.flush_line(value),
+            CSR_FLUSH_DCACHE => self.l1d.flush_all(),
+            CSR_FLUSH_TLB => self.tlb.flush(),
+            CSR_OUTPUT => self.outputs.push(value),
+            _ => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Squash
+    // ------------------------------------------------------------------
+
+    fn apply_squash(&mut self) {
+        // Per-branch kill: of the squashes whose kill latency has elapsed,
+        // apply the oldest. Pending squashes belonging to branches that the
+        // applied squash removes are dropped; an *older* branch's pending
+        // squash survives and will re-squash later (its instruction is
+        // older than everything this squash killed).
+        let now = self.cycle;
+        let ready = self
+            .pending_squashes
+            .iter()
+            .filter(|ps| ps.apply_at <= now)
+            .min_by_key(|ps| ps.branch_seq)
+            .cloned();
+        let Some(ps) = ready else { return };
+        self.pending_squashes
+            .retain(|p| p.branch_seq < ps.branch_seq);
+        let Some(branch_idx) = self.rob_index(ps.branch_seq) else {
+            // The branch is gone (killed by an even older squash earlier).
+            return;
+        };
+        // Restore rename state from the branch's checkpoint.
+        let branch = &self.rob[branch_idx];
+        let cp = branch.checkpoint.clone().expect("branch carries a checkpoint");
+        let hist_before = branch.hist_before;
+        self.map = cp.map;
+        self.ras.restore(cp.ras);
+        self.gshare.repair(hist_before, ps.actual_taken);
+        // Drop younger uops, freeing their physical registers.
+        while self.rob.len() > branch_idx + 1 {
+            let u = self.rob.pop_back().expect("len checked");
+            self.stats.squashed += 1 + u.fused.len() as u64;
+            if let Some(p) = u.prd {
+                self.free_pregs.push(p);
+            }
+            for f in &u.fused {
+                if let Some(p) = f.prd {
+                    self.free_pregs.push(p);
+                }
+            }
+        }
+        for f in self.pending_fusion.drain(..) {
+            if let Some(p) = f.prd {
+                self.free_pregs.push(p);
+            }
+        }
+        // Sequence numbers continue contiguously after the branch so the
+        // seq ↔ ROB-index invariant holds for the correct path.
+        self.next_seq = ps.branch_seq + 1;
+        let cutoff = ps.branch_seq;
+        self.iq.retain(|&s| s <= cutoff);
+        self.ldq.retain(|e| e.seq <= cutoff);
+        self.stq.retain(|e| e.seq <= cutoff || e.committed);
+        self.mul_inflight.retain(|op| op.seq <= cutoff);
+        if self.div_busy.map(|op| op.seq > cutoff).unwrap_or(false) {
+            self.div_busy = None;
+        }
+        // Redirect the front end.
+        self.fetch_buffer.clear();
+        self.fetch_pc = ps.redirect_to;
+        self.redirect_bubble = 2;
+    }
+
+    fn schedule_squash(&mut self, branch_seq: u64, redirect_to: u64, actual_taken: bool) {
+        let apply_at = self.cycle + self.cfg.branch_kill_delay;
+        if self.pending_squashes.iter().any(|ps| ps.branch_seq == branch_seq) {
+            return;
+        }
+        self.pending_squashes.push(PendingSquash {
+            branch_seq,
+            apply_at,
+            redirect_to,
+            actual_taken,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Execute / writeback
+    // ------------------------------------------------------------------
+
+    fn complete_long_ops(&mut self) {
+        let now = self.cycle;
+        let mut done: Vec<LongOp> = Vec::new();
+        self.mul_inflight.retain(|op| {
+            if op.done_cycle <= now {
+                done.push(*op);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(op) = self.div_busy {
+            if op.done_cycle <= now {
+                done.push(op);
+                self.div_busy = None;
+            }
+        }
+        for op in done {
+            if self.rob_index(op.seq).is_none() {
+                continue; // squashed while executing
+            }
+            let prd = self.uop(op.seq).prd;
+            if let Some(prd) = prd {
+                self.write_preg(prd, op.value);
+            }
+            self.uop_mut(op.seq).completed = true;
+        }
+    }
+
+    /// Writes a physical register whose value is usable immediately
+    /// (completed fills and long-latency results — the latency has already
+    /// been charged).
+    fn write_preg(&mut self, prd: PReg, value: u64) {
+        self.write_preg_at(prd, value, self.cycle);
+    }
+
+    /// Writes a physical register usable from the *next* cycle (single-
+    /// cycle ALU results produced during this cycle's issue).
+    fn write_preg_next_cycle(&mut self, prd: PReg, value: u64) {
+        self.write_preg_at(prd, value, self.cycle + 1);
+    }
+
+    fn write_preg_at(&mut self, prd: PReg, value: u64, ready_at: u64) {
+        if prd != 0 {
+            self.prf[prd as usize] = value;
+            self.prf_ready[prd as usize] = true;
+            self.prf_ready_at[prd as usize] = ready_at;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Load/store unit
+    // ------------------------------------------------------------------
+
+    fn lsu_tick(&mut self) {
+        // Complete pending loads.
+        let now = self.cycle;
+        let mut completed_loads: Vec<(u64, u64)> = Vec::new(); // (seq, value_raw_addr)
+        for e in self.ldq.iter_mut() {
+            if e.state == LdState::Pending && e.done_cycle <= now {
+                e.state = LdState::Done;
+                completed_loads.push((e.seq, e.addr.expect("pending load has addr")));
+            }
+        }
+        for (seq, addr) in completed_loads {
+            self.finish_load(seq, addr);
+        }
+        // Drain committed stores.
+        let mut drain_reqs: Vec<(u64, u64)> = Vec::new();
+        for e in self.stq.iter_mut() {
+            if e.state == StState::Draining {
+                let addr = e.addr.expect("draining store has addr");
+                drain_reqs.push((e.seq, addr));
+            }
+        }
+        for (seq, addr) in drain_reqs {
+            // First drain attempt translates through the TLB.
+            let mut extra = 0;
+            let tlb_pending = {
+                let e = self.stq.iter().find(|e| e.seq == seq).expect("draining store");
+                !e.tlb_done
+            };
+            if tlb_pending {
+                if self.tlb.access(addr) {
+                    self.stats.tlb_hits += 1;
+                } else {
+                    self.stats.tlb_misses += 1;
+                    extra = self.cfg.tlb_miss_latency;
+                }
+                if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+                    e.tlb_done = true;
+                }
+            }
+            self.dcache_reqs.push(addr);
+            let access = self.l1d.access(addr, now + extra, &self.mem);
+            let (state, done) = match access {
+                Access::Hit(c) => {
+                    self.stats.l1d_hits += 1;
+                    (StState::Drained, c)
+                }
+                Access::Miss(c) => {
+                    self.stats.l1d_misses += 1;
+                    self.maybe_prefetch(addr);
+                    (StState::Drained, c)
+                }
+                Access::Retry => (StState::Draining, 0),
+            };
+            if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+                if state == StState::Drained {
+                    e.state = StState::Drained;
+                    e.drain_done = done + extra;
+                }
+            }
+        }
+        self.stq.retain(|e| !(e.state == StState::Drained && e.drain_done <= now));
+        // Mark stores ready when address and data are both known.
+        let mut data_updates: Vec<(u64, u64)> = Vec::new();
+        for e in self.stq.iter() {
+            if e.state == StState::WaitData {
+                let u = &self.rob[self.rob_index(e.seq).expect("live store")];
+                if self.preg_ready(u.ps2) {
+                    data_updates.push((e.seq, self.read_preg(u.ps2.unwrap_or(0))));
+                }
+            }
+        }
+        for (seq, data) in data_updates {
+            if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+                e.data = Some(data);
+                e.state = StState::Ready;
+            }
+            self.uop_mut(seq).completed = true;
+        }
+        // Start memory accesses for ready loads (up to 2 per cycle).
+        let mut started = 0;
+        let ready: Vec<u64> = self
+            .ldq
+            .iter()
+            .filter(|e| e.state == LdState::Ready)
+            .map(|e| e.seq)
+            .collect();
+        for seq in ready {
+            if started >= 2 {
+                break;
+            }
+            if self.try_start_load(seq) {
+                started += 1;
+            }
+        }
+    }
+
+    /// Attempts to start the memory access of a load whose address is known.
+    fn try_start_load(&mut self, seq: u64) -> bool {
+        let (addr, size) = {
+            let e = self.ldq.iter().find(|e| e.seq == seq).expect("load in LDQ");
+            (e.addr.expect("ready load has addr"), e.size)
+        };
+        // Memory disambiguation against older stores.
+        let mut forward: Option<u64> = None;
+        for s in self.stq.iter().rev() {
+            if s.seq >= seq {
+                continue;
+            }
+            match s.addr {
+                None => return false, // unknown older store address: wait
+                Some(saddr) => {
+                    let overlap = saddr < addr + size && addr < saddr + s.size;
+                    if !overlap {
+                        continue;
+                    }
+                    let covers = saddr <= addr && saddr + s.size >= addr + size;
+                    if covers {
+                        match s.data {
+                            Some(data) => {
+                                forward = Some((data >> (8 * (addr - saddr))) & mask(size));
+                                break;
+                            }
+                            None => return false, // data not ready yet
+                        }
+                    } else {
+                        return false; // partial overlap: wait for drain
+                    }
+                }
+            }
+        }
+        let now = self.cycle;
+        if let Some(value) = forward {
+            // Store-to-load forwarding: the value never touches the cache.
+            self.stats.stl_forwards += 1;
+            self.finish_load_with_value(seq, value);
+            return true;
+        }
+        // TLB.
+        let entry = self.ldq.iter().find(|e| e.seq == seq).expect("load");
+        let mut extra = entry.extra_delay;
+        if !entry.tlb_done {
+            if self.tlb.access(addr) {
+                self.stats.tlb_hits += 1;
+            } else {
+                self.stats.tlb_misses += 1;
+                extra = self.cfg.tlb_miss_latency;
+            }
+        }
+        self.dcache_reqs.push(addr);
+        let access = self.l1d.access(addr, now + extra, &self.mem);
+        match access {
+            Access::Hit(c) => {
+                self.stats.l1d_hits += 1;
+                let e = self.ldq.iter_mut().find(|e| e.seq == seq).expect("load");
+                e.tlb_done = true;
+                e.state = LdState::Pending;
+                e.done_cycle = c + extra;
+                true
+            }
+            Access::Miss(c) => {
+                self.stats.l1d_misses += 1;
+                self.maybe_prefetch(addr);
+                let e = self.ldq.iter_mut().find(|e| e.seq == seq).expect("load");
+                e.tlb_done = true;
+                e.state = LdState::Pending;
+                e.done_cycle = c + extra;
+                true
+            }
+            Access::Retry => {
+                let e = self.ldq.iter_mut().find(|e| e.seq == seq).expect("load");
+                e.tlb_done = true;
+                e.extra_delay = extra;
+                false
+            }
+        }
+    }
+
+    fn maybe_prefetch(&mut self, addr: u64) {
+        if self.cfg.prefetcher == PrefetcherKind::NextLine {
+            let next = self.l1d.line_addr(addr) + self.cfg.l1d.line_bytes;
+            if self.l1d.prefetch(next, self.cycle, &self.mem) {
+                self.stats.prefetches += 1;
+                self.nlp_issued.push(next);
+            }
+        }
+    }
+
+    fn finish_load(&mut self, seq: u64, addr: u64) {
+        let size = self.ldq.iter().find(|e| e.seq == seq).expect("load").size;
+        let raw = self.mem.read_le(addr, size);
+        self.finish_load_with_value(seq, raw & mask(size));
+    }
+
+    fn finish_load_with_value(&mut self, seq: u64, raw: u64) {
+        if let Some(e) = self.ldq.iter_mut().find(|e| e.seq == seq) {
+            e.state = LdState::Done;
+        }
+        let (op, prd) = {
+            let u = self.uop(seq);
+            match u.inst {
+                Inst::Load { op, .. } => (op, u.prd),
+                _ => unreachable!("LDQ entry refers to a load"),
+            }
+        };
+        let value = interp::extend_load(op, raw);
+        if let Some(prd) = prd {
+            self.write_preg(prd, value);
+        }
+        let u = self.uop_mut(seq);
+        u.result = value;
+        u.completed = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Issue / execute (single-cycle and unit dispatch)
+    // ------------------------------------------------------------------
+
+    fn issue(&mut self) {
+        let mut issued = 0;
+        let mut alus_used = 0;
+        let mut agus_used = 0;
+        let mut mul_issued = false;
+        self.iq.sort_unstable();
+        let candidates: Vec<u64> = self.iq.clone();
+        let mut remove: Vec<u64> = Vec::new();
+        for seq in candidates {
+            if issued >= self.cfg.issue_width {
+                break;
+            }
+            let Some(idx) = self.rob_index(seq) else {
+                remove.push(seq);
+                continue;
+            };
+            let (ps1, ps2, inst) = {
+                let u = &self.rob[idx];
+                (u.ps1, u.ps2, u.inst)
+            };
+            // Stores only need the address operand to issue to the AGU;
+            // the data operand is picked up by the LSU when it is ready.
+            let needs_ps2 = !inst.is_store();
+            if !self.preg_ready(ps1) || (needs_ps2 && !self.preg_ready(ps2)) {
+                continue;
+            }
+            let a = self.read_preg(ps1.unwrap_or(0));
+            let b = self.read_preg(ps2.unwrap_or(0));
+            match inst {
+                Inst::MulDiv { op, .. } if !op.is_div() => {
+                    if mul_issued {
+                        continue;
+                    }
+                    mul_issued = true;
+                    let value = interp::muldiv(op, a, b);
+                    let pc = self.rob[idx].pc;
+                    self.mul_inflight.push(LongOp {
+                        seq,
+                        pc,
+                        done_cycle: self.cycle + self.cfg.mul_latency,
+                        value,
+                    });
+                    self.rob[idx].issued = true;
+                }
+                Inst::MulDiv { op, .. } => {
+                    if self.div_busy.is_some() {
+                        continue;
+                    }
+                    let value = interp::muldiv(op, a, b);
+                    let pc = self.rob[idx].pc;
+                    self.div_busy = Some(LongOp {
+                        seq,
+                        pc,
+                        done_cycle: self.cycle + self.cfg.div_latency,
+                        value,
+                    });
+                    self.rob[idx].issued = true;
+                }
+                Inst::Load { offset, .. } | Inst::Store { offset, .. } => {
+                    if agus_used >= self.cfg.n_agus {
+                        continue;
+                    }
+                    let addr = a.wrapping_add(offset as u64);
+                    let pc = self.rob[idx].pc;
+                    self.agu_busy[agus_used] = pc;
+                    agus_used += 1;
+                    self.rob[idx].issued = true;
+                    if matches!(inst, Inst::Load { .. }) {
+                        if let Some(e) = self.ldq.iter_mut().find(|e| e.seq == seq) {
+                            e.addr = Some(addr);
+                            e.state = LdState::Ready;
+                        }
+                    } else if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
+                        e.addr = Some(addr);
+                        e.state = StState::WaitData;
+                    }
+                }
+                _ => {
+                    if alus_used >= self.cfg.n_alus {
+                        continue;
+                    }
+                    // Input and cycle CSR reads are non-speculative: only
+                    // execute at the head of the ROB (all older
+                    // instructions committed, so this instruction cannot
+                    // be squashed and the cycle read is serialized).
+                    if matches!(inst, Inst::Csr { csr: CSR_INPUT | CSR_CYCLE, .. })
+                        && seq != self.rob_base_seq
+                    {
+                        continue;
+                    }
+                    let pc = self.rob[idx].pc;
+                    self.alu_busy[alus_used] = pc;
+                    alus_used += 1;
+                    self.rob[idx].issued = true;
+                    self.execute_alu(seq, a, b);
+                }
+            }
+            remove.push(seq);
+            issued += 1;
+        }
+        self.iq.retain(|s| !remove.contains(s));
+    }
+
+    fn execute_alu(&mut self, seq: u64, a: u64, b: u64) {
+        let idx = self.rob_index(seq).expect("live uop");
+        let (pc, inst, prd, pred_taken, pred_target) = {
+            let u = &self.rob[idx];
+            (u.pc, u.inst, u.prd, u.pred_taken, u.pred_target)
+        };
+        let mut result = 0u64;
+        match inst {
+            Inst::Lui { imm, .. } => result = imm as u64,
+            Inst::Auipc { imm, .. } => result = pc.wrapping_add(imm as u64),
+            Inst::OpImm { op, imm, .. } => result = interp::alu(op, a, imm as u64),
+            Inst::Op { op, .. } => result = interp::alu(op, a, b),
+            Inst::Jal { .. } => result = pc.wrapping_add(4),
+            Inst::Jalr { offset, .. } => {
+                let target = a.wrapping_add(offset as u64) & !1;
+                if target != pred_target {
+                    self.stats.jalr_mispredicts += 1;
+                    self.schedule_squash(seq, target, true);
+                }
+                if let Some(prd) = prd {
+                    self.write_preg_next_cycle(prd, pc.wrapping_add(4));
+                }
+                let u = &mut self.rob[idx];
+                u.result = target;
+                u.completed = true;
+                return;
+            }
+            Inst::Branch { op, offset, .. } => {
+                let taken = interp::branch_taken(op, a, b);
+                result = taken as u64;
+                if taken != pred_taken {
+                    self.stats.branch_mispredicts += 1;
+                    let target = if taken { pc.wrapping_add(offset as u64) } else { pc + 4 };
+                    self.schedule_squash(seq, target, taken);
+                }
+            }
+            Inst::Csr { csr, .. } => {
+                result = match csr {
+                    CSR_INPUT => self.input_queue.pop_front().unwrap_or(0),
+                    CSR_CYCLE => self.cycle,
+                    _ => a,
+                };
+            }
+            Inst::Ecall | Inst::Ebreak | Inst::Fence => {}
+            Inst::Load { .. } | Inst::Store { .. } | Inst::MulDiv { .. } => {
+                unreachable!("handled by dedicated units")
+            }
+        }
+        if let Some(prd) = prd {
+            self.write_preg_next_cycle(prd, result);
+        }
+        let u = &mut self.rob[idx];
+        u.result = result;
+        u.completed = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Rename / dispatch
+    // ------------------------------------------------------------------
+
+    fn rename(&mut self) {
+        for _ in 0..self.cfg.decode_width {
+            let Some(fe) = self.fetch_buffer.front() else { break };
+            if self.rob.len() >= self.cfg.rob_entries {
+                break;
+            }
+            // A fence drains the store queue: it does not rename until
+            // every older store (including background drains) has left.
+            if matches!(fe.inst, Inst::Fence) && !self.stq.is_empty() {
+                break;
+            }
+            let needs_iq = !matches!(fe.inst, Inst::Ecall | Inst::Ebreak | Inst::Fence);
+            if needs_iq && self.iq.len() >= self.cfg.iq_entries {
+                break;
+            }
+            if fe.inst.is_load() && self.ldq.len() >= self.cfg.ldq_entries {
+                break;
+            }
+            if fe.inst.is_store() && self.stq.len() >= self.cfg.stq_entries {
+                break;
+            }
+            let needs_preg = fe.inst.rd().is_some();
+            if needs_preg && self.free_pregs.is_empty() {
+                break;
+            }
+            let fe = self.fetch_buffer.pop_front().expect("checked above");
+            // Fast-bypass check (paper §VII-B): a register-register AND with
+            // an available zero operand skips execution entirely.
+            if self.cfg.fast_bypass {
+                if let Inst::Op { op: microsampler_isa::AluOp::And, rd, rs1, rs2 } = fe.inst {
+                    let p1 = self.preg_of(rs1);
+                    let p2 = self.preg_of(rs2);
+                    let zero_operand = (self.preg_ready(Some(p1)) && self.read_preg(p1) == 0)
+                        || (self.preg_ready(Some(p2)) && self.read_preg(p2) == 0);
+                    if zero_operand {
+                        self.stats.fast_bypasses += 1;
+                        let (prd, stale) = if rd.is_zero() {
+                            (None, None)
+                        } else {
+                            let p = self.free_pregs.pop().expect("checked above");
+                            let stale = self.map[rd.index()];
+                            self.map[rd.index()] = p;
+                            self.prf[p as usize] = 0;
+                            self.prf_ready[p as usize] = true;
+                            self.prf_ready_at[p as usize] = self.cycle;
+                            (Some(p), Some(stale))
+                        };
+                        self.pending_fusion.push(FusedOp {
+                            pc: fe.pc,
+                            stale_prd: stale,
+                            arch_rd: (!rd.is_zero()).then_some(rd),
+                            prd,
+                        });
+                        continue;
+                    }
+                }
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let (rs1, rs2) = fe.inst.sources();
+            let ps1 = rs1.map(|r| self.preg_of(r));
+            let ps2 = rs2.map(|r| self.preg_of(r));
+            let (prd, stale_prd) = match fe.inst.rd() {
+                Some(rd) => {
+                    let p = self.free_pregs.pop().expect("checked above");
+                    let stale = self.map[rd.index()];
+                    self.map[rd.index()] = p;
+                    self.prf_ready[p as usize] = false;
+                    (Some(p), Some(stale))
+                }
+                None => (None, None),
+            };
+            let checkpoint = if matches!(fe.inst, Inst::Branch { .. } | Inst::Jalr { .. }) {
+                Some(Checkpoint { map: self.map, ras: fe.ras_cp })
+            } else {
+                None
+            };
+            let completed = matches!(fe.inst, Inst::Ecall | Inst::Ebreak | Inst::Fence);
+            let uop = Uop {
+                seq,
+                pc: fe.pc,
+                inst: fe.inst,
+                prd,
+                stale_prd,
+                ps1,
+                ps2,
+                issued: false,
+                completed,
+                result: 0,
+                pred_taken: fe.pred_taken,
+                pred_target: fe.pred_target,
+                hist_before: fe.hist_before,
+                checkpoint,
+                fused: std::mem::take(&mut self.pending_fusion),
+            };
+            if fe.inst.is_load() {
+                self.ldq.push_back(LdqEntry {
+                    seq,
+                    pc: fe.pc,
+                    addr: None,
+                    size: match fe.inst {
+                        Inst::Load { op, .. } => op.size(),
+                        _ => unreachable!(),
+                    },
+                    state: LdState::WaitAddr,
+                    done_cycle: 0,
+                    extra_delay: 0,
+                    tlb_done: false,
+                });
+            }
+            if fe.inst.is_store() {
+                self.stq.push_back(StqEntry {
+                    seq,
+                    pc: fe.pc,
+                    addr: None,
+                    size: match fe.inst {
+                        Inst::Store { op, .. } => op.size(),
+                        _ => unreachable!(),
+                    },
+                    data: None,
+                    state: StState::WaitAddr,
+                    drain_done: 0,
+                    tlb_done: false,
+                    committed: false,
+                });
+            }
+            if needs_iq {
+                self.iq.push(seq);
+            }
+            self.rob.push_back(uop);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch
+    // ------------------------------------------------------------------
+
+    fn fetch(&mut self) {
+        if self.redirect_bubble > 0 {
+            self.redirect_bubble -= 1;
+            return;
+        }
+        if self.icache_stall_until > self.cycle {
+            return;
+        }
+        let mut fetched = 0;
+        while fetched < self.cfg.fetch_width
+            && self.fetch_buffer.len() < self.cfg.fetch_buffer_entries
+        {
+            let pc = self.fetch_pc;
+            if pc < self.text_base || pc >= self.text_base + self.text_len || !pc.is_multiple_of(4) {
+                // Off the map (almost always a wrong path): stall until a
+                // squash redirects us.
+                return;
+            }
+            match self.l1i.access(pc, self.cycle, &self.mem) {
+                Access::Hit(_) => self.stats.l1i_hits += 1,
+                Access::Miss(ready) => {
+                    self.stats.l1i_misses += 1;
+                    self.icache_stall_until = ready;
+                    return;
+                }
+                Access::Retry => return,
+            }
+            let word = self.mem.read_u32(pc);
+            let Ok(inst) = microsampler_isa::decode(word) else {
+                // Undecodable word on a (wrong) path: stall.
+                return;
+            };
+            let ras_cp = self.ras.checkpoint();
+            let hist_before = self.gshare.history();
+            let mut pred_taken = false;
+            let mut pred_target = pc + 4;
+            match inst {
+                Inst::Jal { rd, offset } => {
+                    pred_taken = true;
+                    pred_target = pc.wrapping_add(offset as u64);
+                    if rd == Reg::RA {
+                        self.ras.push(pc + 4);
+                    }
+                }
+                Inst::Jalr { rd, rs1, .. } => {
+                    pred_taken = true;
+                    pred_target = if rd.is_zero() && rs1 == Reg::RA {
+                        self.ras.pop().or_else(|| self.btb.lookup(pc)).unwrap_or(pc + 4)
+                    } else {
+                        self.btb.lookup(pc).unwrap_or(pc + 4)
+                    };
+                    if rd == Reg::RA {
+                        self.ras.push(pc + 4);
+                    }
+                }
+                Inst::Branch { offset, .. } => {
+                    pred_taken = self.gshare.predict_and_update_history(pc);
+                    if pred_taken {
+                        pred_target = pc.wrapping_add(offset as u64);
+                    }
+                }
+                _ => {}
+            }
+            self.fetch_buffer.push_back(FetchEntry {
+                pc,
+                inst,
+                pred_taken,
+                pred_target,
+                hist_before,
+                ras_cp,
+            });
+            fetched += 1;
+            self.fetch_pc = pred_target;
+            if pred_taken {
+                // Taken control flow ends the fetch group (one-bubble
+                // redirect within the front end).
+                break;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    fn sample_trace(&mut self) {
+        if !self.tracer.active() {
+            return;
+        }
+        self.tracer.begin_cycle(self.cycle);
+        let mut row: Vec<u64>;
+
+        row = vec![0; self.cfg.stq_entries];
+        for (i, e) in self.stq.iter().enumerate().take(self.cfg.stq_entries) {
+            row[i] = e.addr.unwrap_or(0);
+        }
+        self.tracer.record_row(UnitId::SqAddr, &row);
+
+        row = vec![0; self.cfg.stq_entries];
+        for (i, e) in self.stq.iter().enumerate().take(self.cfg.stq_entries) {
+            row[i] = e.pc;
+        }
+        self.tracer.record_row(UnitId::SqPc, &row);
+
+        row = vec![0; self.cfg.ldq_entries];
+        for (i, e) in self.ldq.iter().enumerate().take(self.cfg.ldq_entries) {
+            row[i] = e.addr.unwrap_or(0);
+        }
+        self.tracer.record_row(UnitId::LqAddr, &row);
+
+        row = vec![0; self.cfg.ldq_entries];
+        for (i, e) in self.ldq.iter().enumerate().take(self.cfg.ldq_entries) {
+            row[i] = e.pc;
+        }
+        self.tracer.record_row(UnitId::LqPc, &row);
+
+        self.tracer.record_row(UnitId::RobOccupancy, &[self.rob.len() as u64]);
+
+        let mut rob_pcs = Vec::with_capacity(self.cfg.rob_entries);
+        for u in &self.rob {
+            for f in &u.fused {
+                rob_pcs.push(f.pc);
+            }
+            rob_pcs.push(u.pc);
+        }
+        rob_pcs.resize(self.cfg.rob_entries.max(rob_pcs.len()), 0);
+        self.tracer.record_row(UnitId::RobPc, &rob_pcs);
+
+        row = vec![0; self.cfg.lfb_entries];
+        for (i, l) in self.l1d.lfb_entries().enumerate().take(self.cfg.lfb_entries) {
+            row[i] = l.data_digest;
+        }
+        self.tracer.record_row(UnitId::LfbData, &row);
+
+        row = vec![0; self.cfg.lfb_entries];
+        for (i, l) in self.l1d.lfb_entries().enumerate().take(self.cfg.lfb_entries) {
+            row[i] = l.line_addr;
+        }
+        self.tracer.record_row(UnitId::LfbAddr, &row);
+
+        let alu_row = self.alu_busy.clone();
+        self.tracer.record_row(UnitId::EuuAlu, &alu_row);
+        let agu_row = self.agu_busy.clone();
+        self.tracer.record_row(UnitId::EuuAddrGen, &agu_row);
+
+        let div_row = [self.div_busy.map(|op| op.pc).unwrap_or(0)];
+        self.tracer.record_row(UnitId::EuuDiv, &div_row);
+
+        let mut mul_row = vec![0; self.cfg.mul_latency as usize];
+        for (i, op) in self.mul_inflight.iter().enumerate().take(mul_row.len()) {
+            mul_row[i] = op.pc;
+        }
+        self.tracer.record_row(UnitId::EuuMul, &mul_row);
+
+        let mut nlp_row = self.nlp_issued.clone();
+        nlp_row.resize(nlp_row.len().max(2), 0);
+        self.tracer.record_row(UnitId::NlpAddr, &nlp_row);
+
+        let mut cache_row = self.dcache_reqs.clone();
+        cache_row.resize(cache_row.len().max(4), 0);
+        self.tracer.record_row(UnitId::CacheAddr, &cache_row);
+
+        let mut tlb_row = vec![0; self.cfg.tlb_entries];
+        for (i, p) in self.tlb.resident_pages().enumerate().take(self.cfg.tlb_entries) {
+            tlb_row[i] = p;
+        }
+        self.tracer.record_row(UnitId::TlbAddr, &tlb_row);
+
+        let mut mshr_row = vec![0; self.cfg.l1d.mshrs];
+        for (i, a) in self.l1d.mshr_addrs().enumerate().take(self.cfg.l1d.mshrs) {
+            mshr_row[i] = a;
+        }
+        self.tracer.record_row(UnitId::MshrAddr, &mshr_row);
+    }
+
+    /// Cycles since the last commit (deadlock watchdog input).
+    pub fn cycles_since_commit(&self) -> u64 {
+        self.cycle - self.last_commit_cycle
+    }
+
+    /// Flushes the L1D line containing `addr` (harness-level attacker model).
+    pub fn flush_dcache_line(&mut self, addr: u64) {
+        self.l1d.flush_line(addr);
+    }
+
+    /// Installs the L1D lines covering `addr..addr+len` (harness warming).
+    pub fn warm_dcache(&mut self, addr: u64, len: u64) {
+        let line = self.cfg.l1d.line_bytes;
+        let mut a = self.l1d.line_addr(addr);
+        while a < addr + len {
+            self.l1d.install(a);
+            a += line;
+        }
+    }
+}
+
+fn mask(size: u64) -> u64 {
+    if size >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (8 * size)) - 1
+    }
+}

@@ -1,0 +1,477 @@
+//! Golden-model functional interpreter.
+//!
+//! Executes RV64IM semantics one instruction at a time with no
+//! microarchitecture. Used as the reference for differential testing of the
+//! out-of-order core (committed architectural state must match) and as the
+//! functional-semantics library the core itself calls at execute time.
+
+use crate::memory::Memory;
+use microsampler_isa::{
+    AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, Program, Reg, CSR_CYCLE, CSR_EXIT,
+    CSR_INPUT, CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START, STACK_TOP,
+};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Evaluates an ALU operation on 64-bit operands.
+pub fn alu(op: AluOp, a: u64, b: u64) -> u64 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 63),
+        AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 63),
+        AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::AddW => (a.wrapping_add(b) as i32) as u64,
+        AluOp::SubW => (a.wrapping_sub(b) as i32) as u64,
+        AluOp::SllW => (((a as u32) << (b & 31)) as i32) as u64,
+        AluOp::SrlW => (((a as u32) >> (b & 31)) as i32) as u64,
+        AluOp::SraW => ((a as i32) >> (b & 31)) as u64,
+    }
+}
+
+/// Evaluates an `M` extension operation, with RISC-V division-by-zero and
+/// overflow semantics.
+pub fn muldiv(op: MulDivOp, a: u64, b: u64) -> u64 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+        MulDivOp::Mulhsu => (((a as i64 as i128) * (b as u128 as i128)) >> 64) as u64,
+        MulDivOp::Mulhu => (((a as u128) * (b as u128)) >> 64) as u64,
+        MulDivOp::Div => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                a as u64
+            } else {
+                (a / b) as u64
+            }
+        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+        MulDivOp::Rem => {
+            let (a, b) = (a as i64, b as i64);
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        MulDivOp::MulW => ((a as i32).wrapping_mul(b as i32)) as u64,
+        MulDivOp::DivW => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                u64::MAX
+            } else if a == i32::MIN && b == -1 {
+                a as i64 as u64
+            } else {
+                (a / b) as i64 as u64
+            }
+        }
+        MulDivOp::DivuW => {
+            let (a, b) = (a as u32, b as u32);
+            match a.checked_div(b) {
+                Some(q) => q as i32 as i64 as u64,
+                None => u64::MAX,
+            }
+        }
+        MulDivOp::RemW => {
+            let (a, b) = (a as i32, b as i32);
+            if b == 0 {
+                a as i64 as u64
+            } else if a == i32::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as i64 as u64
+            }
+        }
+        MulDivOp::RemuW => {
+            let (a, b) = (a as u32, b as u32);
+            if b == 0 {
+                a as i32 as i64 as u64
+            } else {
+                (a % b) as i32 as i64 as u64
+            }
+        }
+    }
+}
+
+/// Evaluates a branch condition.
+pub fn branch_taken(op: BranchOp, a: u64, b: u64) -> bool {
+    match op {
+        BranchOp::Beq => a == b,
+        BranchOp::Bne => a != b,
+        BranchOp::Blt => (a as i64) < (b as i64),
+        BranchOp::Bge => (a as i64) >= (b as i64),
+        BranchOp::Bltu => a < b,
+        BranchOp::Bgeu => a >= b,
+    }
+}
+
+/// Sign- or zero-extends a loaded value per the load op.
+pub fn extend_load(op: LoadOp, raw: u64) -> u64 {
+    match op {
+        LoadOp::Lb => raw as u8 as i8 as i64 as u64,
+        LoadOp::Lbu => raw as u8 as u64,
+        LoadOp::Lh => raw as u16 as i16 as i64 as u64,
+        LoadOp::Lhu => raw as u16 as u64,
+        LoadOp::Lw => raw as u32 as i32 as i64 as u64,
+        LoadOp::Lwu => raw as u32 as u64,
+        LoadOp::Ld => raw,
+    }
+}
+
+/// A marker event observed while interpreting (CSR writes to the
+/// MicroSampler marker range).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MarkerEvent {
+    /// Security-critical region opened.
+    ScrStart,
+    /// Security-critical region closed.
+    ScrEnd,
+    /// Iteration started with this class label.
+    IterStart(u64),
+    /// Iteration ended.
+    IterEnd,
+}
+
+/// Why the interpreter stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// `ecall` executed (exit code in `a0`).
+    Ecall,
+    /// Exit-marker CSR written (code is the written value).
+    ExitCsr(u64),
+    /// The step budget ran out.
+    OutOfFuel,
+}
+
+/// Error from interpretation: the PC left the text section or decoding
+/// failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InterpError {
+    /// PC at which the fault occurred.
+    pub pc: u64,
+    /// Description of the fault.
+    pub message: String,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter fault at pc {:#x}: {}", self.pc, self.message)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The functional golden model.
+///
+/// # Example
+///
+/// ```
+/// use microsampler_isa::asm::assemble;
+/// use microsampler_sim::interp::Interp;
+///
+/// let p = assemble("li a0, 2\nli a1, 3\nadd a0, a0, a1\necall\n")?;
+/// let mut i = Interp::new(&p);
+/// i.run(1000)?;
+/// assert_eq!(i.reg(microsampler_isa::Reg::new(10)), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interp {
+    regs: [u64; 32],
+    pc: u64,
+    /// Memory state (text and data already loaded).
+    pub mem: Memory,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Marker events in program order.
+    pub markers: Vec<MarkerEvent>,
+    /// Words served to `csrr` reads of [`CSR_INPUT`] (0 when empty).
+    pub input_queue: VecDeque<u64>,
+    /// Words written via [`CSR_OUTPUT`].
+    pub outputs: Vec<u64>,
+    text_base: u64,
+    text_len: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter with the program loaded and `sp` initialized.
+    pub fn new(program: &Program) -> Interp {
+        let mut mem = Memory::new();
+        mem.write_bytes(program.text_base, &program.text);
+        mem.write_bytes(program.data_base, &program.data);
+        let mut regs = [0u64; 32];
+        regs[Reg::SP.index()] = STACK_TOP;
+        Interp {
+            regs,
+            pc: program.entry,
+            mem,
+            retired: 0,
+            markers: Vec::new(),
+            input_queue: VecDeque::new(),
+            outputs: Vec::new(),
+            text_base: program.text_base,
+            text_len: program.text.len() as u64,
+        }
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Reads an architectural register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes an architectural register (`x0` writes are ignored).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] when the PC leaves the text section or the
+    /// word does not decode. Returns `Ok(Some(reason))` when execution
+    /// stops, `Ok(None)` to continue.
+    pub fn step(&mut self) -> Result<Option<StopReason>, InterpError> {
+        if self.pc < self.text_base || self.pc >= self.text_base + self.text_len {
+            return Err(InterpError { pc: self.pc, message: "pc outside text section".into() });
+        }
+        let word = self.mem.read_u32(self.pc);
+        let inst = microsampler_isa::decode(word)
+            .map_err(|e| InterpError { pc: self.pc, message: e.to_string() })?;
+        let mut next_pc = self.pc.wrapping_add(4);
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd, imm as u64),
+            Inst::Auipc { rd, imm } => self.set_reg(rd, self.pc.wrapping_add(imm as u64)),
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = self.pc.wrapping_add(offset as u64);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.reg(rs1).wrapping_add(offset as u64) & !1;
+                self.set_reg(rd, self.pc.wrapping_add(4));
+                next_pc = target;
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                if branch_taken(op, self.reg(rs1), self.reg(rs2)) {
+                    next_pc = self.pc.wrapping_add(offset as u64);
+                }
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                let raw = self.mem.read_le(addr, op.size());
+                self.set_reg(rd, extend_load(op, raw));
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let addr = self.reg(rs1).wrapping_add(offset as u64);
+                self.mem.write_le(addr, op.size(), self.reg(rs2));
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                self.set_reg(rd, alu(op, self.reg(rs1), imm as u64));
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, alu(op, self.reg(rs1), self.reg(rs2)));
+            }
+            Inst::MulDiv { op, rd, rs1, rs2 } => {
+                self.set_reg(rd, muldiv(op, self.reg(rs1), self.reg(rs2)));
+            }
+            Inst::Csr { op, rd, rs1, csr } => {
+                let written = match op {
+                    CsrOp::Rw => self.reg(rs1),
+                    CsrOp::Rs | CsrOp::Rc => self.reg(rs1), // value unused for markers
+                };
+                let read_value = match csr {
+                    CSR_INPUT => self.input_queue.pop_front().unwrap_or(0),
+                    CSR_CYCLE => self.retired,
+                    _ => 0,
+                };
+                self.set_reg(rd, read_value);
+                self.retired += 1;
+                self.pc = next_pc;
+                match csr {
+                    CSR_SCR_START => self.markers.push(MarkerEvent::ScrStart),
+                    CSR_SCR_END => self.markers.push(MarkerEvent::ScrEnd),
+                    CSR_ITER_START => self.markers.push(MarkerEvent::IterStart(written)),
+                    CSR_ITER_END => self.markers.push(MarkerEvent::IterEnd),
+                    CSR_OUTPUT if op == CsrOp::Rw => self.outputs.push(written),
+                    CSR_EXIT => return Ok(Some(StopReason::ExitCsr(written))),
+                    _ => {}
+                }
+                return Ok(None);
+            }
+            Inst::Ecall => {
+                self.retired += 1;
+                return Ok(Some(StopReason::Ecall));
+            }
+            Inst::Ebreak | Inst::Fence => {}
+        }
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(None)
+    }
+
+    /// Runs until a stop condition or `fuel` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InterpError`] from [`Interp::step`].
+    pub fn run(&mut self, fuel: u64) -> Result<StopReason, InterpError> {
+        for _ in 0..fuel {
+            if let Some(reason) = self.step()? {
+                return Ok(reason);
+            }
+        }
+        Ok(StopReason::OutOfFuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+
+    fn run_prog(src: &str) -> Interp {
+        let p = assemble(src).unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(1_000_000).unwrap(), StopReason::Ecall);
+        i
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let i = run_prog("li a0, 10\nli a1, 3\nsub a2, a0, a1\nmul a3, a0, a1\ndivu a4, a0, a1\nremu a5, a0, a1\necall\n");
+        assert_eq!(i.reg(Reg::new(12)), 7);
+        assert_eq!(i.reg(Reg::new(13)), 30);
+        assert_eq!(i.reg(Reg::new(14)), 3);
+        assert_eq!(i.reg(Reg::new(15)), 1);
+    }
+
+    #[test]
+    fn division_corner_cases() {
+        assert_eq!(muldiv(MulDivOp::Div, 5, 0), u64::MAX);
+        assert_eq!(muldiv(MulDivOp::Rem, 5, 0), 5);
+        assert_eq!(muldiv(MulDivOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
+        assert_eq!(muldiv(MulDivOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
+        assert_eq!(muldiv(MulDivOp::DivW, i32::MIN as i64 as u64, -1i64 as u64), i32::MIN as i64 as u64);
+    }
+
+    #[test]
+    fn word_ops_sign_extend() {
+        assert_eq!(alu(AluOp::AddW, 0x7FFF_FFFF, 1), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(alu(AluOp::SllW, 1, 31), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(alu(AluOp::SrlW, 0xFFFF_FFFF, 1), 0x7FFF_FFFF);
+        assert_eq!(alu(AluOp::SraW, 0x8000_0000, 1), 0xFFFF_FFFF_C000_0000);
+    }
+
+    #[test]
+    fn loop_and_memory() {
+        // Sum 1..=10 into a0 via memory round-trips.
+        let i = run_prog(
+            r#"
+            .data
+            acc: .dword 0
+            .text
+            la t0, acc
+            li t1, 10
+            loop:
+                ld t2, 0(t0)
+                add t2, t2, t1
+                sd t2, 0(t0)
+                addi t1, t1, -1
+                bgtz t1, loop
+            ld a0, 0(t0)
+            ecall
+            "#,
+        );
+        assert_eq!(i.reg(Reg::new(10)), 55);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let i = run_prog(
+            r#"
+            _start:
+                li a0, 5
+                call double
+                call double
+                ecall
+            double:
+                slli a0, a0, 1
+                ret
+            "#,
+        );
+        assert_eq!(i.reg(Reg::new(10)), 20);
+    }
+
+    #[test]
+    fn markers_recorded() {
+        let p = assemble(
+            "csrw 0x8c0, zero\nli a0, 1\ncsrw 0x8c2, a0\ncsrw 0x8c3, zero\ncsrw 0x8c1, zero\necall\n",
+        )
+        .unwrap();
+        let mut i = Interp::new(&p);
+        i.run(100).unwrap();
+        assert_eq!(
+            i.markers,
+            vec![
+                MarkerEvent::ScrStart,
+                MarkerEvent::IterStart(1),
+                MarkerEvent::IterEnd,
+                MarkerEvent::ScrEnd
+            ]
+        );
+    }
+
+    #[test]
+    fn exit_csr_stops_with_code() {
+        let p = assemble("li a0, 42\ncsrw 0x8c4, a0\nnop\necall\n").unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(100).unwrap(), StopReason::ExitCsr(42));
+    }
+
+    #[test]
+    fn byte_loads_sign_and_zero_extend() {
+        let i = run_prog(
+            ".data\nv: .byte 0xFF\n.text\nla t0, v\nlb a0, 0(t0)\nlbu a1, 0(t0)\necall\n",
+        );
+        assert_eq!(i.reg(Reg::new(10)), u64::MAX);
+        assert_eq!(i.reg(Reg::new(11)), 0xFF);
+    }
+
+    #[test]
+    fn pc_escape_is_error() {
+        let p = assemble("j out\nout: nop\n").unwrap();
+        // `out` is the final instruction; falling past it faults.
+        let mut i = Interp::new(&p);
+        assert!(i.run(10).is_err());
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let p = assemble("spin: j spin\n").unwrap();
+        let mut i = Interp::new(&p);
+        assert_eq!(i.run(100).unwrap(), StopReason::OutOfFuel);
+    }
+}

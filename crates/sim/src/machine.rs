@@ -1,0 +1,372 @@
+//! Public top-level API: load a program, run it, collect traces.
+
+use crate::config::CoreConfig;
+use crate::core::{Core, CoreExit};
+use crate::trace::{IterationTrace, TraceConfig};
+use crate::CoreStats;
+use microsampler_isa::{Program, Reg};
+use std::fmt;
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget was exhausted before the program exited.
+    OutOfCycles {
+        /// Budget that was exceeded.
+        limit: u64,
+    },
+    /// No instruction committed for a long time — the pipeline wedged
+    /// (usually a program that wandered off its text section on the
+    /// committed path).
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfCycles { limit } => {
+                write!(f, "simulation exceeded the cycle budget of {limit}")
+            }
+            SimError::Deadlock { cycle } => {
+                write!(f, "pipeline made no progress (deadlock detected at cycle {cycle})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The outcome of a completed run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Exit code: `a0` for `ecall`, or the value written to the exit CSR.
+    pub exit_code: u64,
+    /// Labeled per-iteration microarchitectural traces collected inside the
+    /// security-critical region.
+    pub iterations: Vec<IterationTrace>,
+    /// Microarchitectural statistics.
+    pub stats: CoreStats,
+}
+
+/// A loaded machine: one core plus memory, ready to run.
+pub struct Machine {
+    core: Core,
+}
+
+impl Machine {
+    /// Enables a per-cycle state dump to stderr (debugging aid).
+    pub fn set_debug(&mut self, on: bool) {
+        self.core.debug = on;
+    }
+}
+
+/// Cycles without a commit after which the watchdog declares deadlock.
+const WATCHDOG_CYCLES: u64 = 20_000;
+
+impl Machine {
+    /// Creates a machine with default tracing (summaries only, no raw
+    /// matrices).
+    pub fn new(config: CoreConfig, program: &Program) -> Machine {
+        Machine::with_trace_config(config, program, TraceConfig::default())
+    }
+
+    /// Creates a machine with explicit tracing configuration.
+    pub fn with_trace_config(
+        config: CoreConfig,
+        program: &Program,
+        trace: TraceConfig,
+    ) -> Machine {
+        Machine { core: Core::new(config, program, trace) }
+    }
+
+    /// Enables text-log emission (the paper's simulator-log pipeline);
+    /// retrieve it with [`Machine::log_text`] after the run.
+    pub fn enable_log(&mut self) {
+        self.core.tracer.enable_log();
+    }
+
+    /// The accumulated text log, if enabled.
+    pub fn log_text(&self) -> Option<&str> {
+        self.core.tracer.log_text()
+    }
+
+    /// Runs until the program exits or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutOfCycles`] if the budget runs out,
+    /// [`SimError::Deadlock`] if the pipeline stops committing.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        while self.core.exit.is_none() {
+            if self.core.cycle >= max_cycles {
+                return Err(SimError::OutOfCycles { limit: max_cycles });
+            }
+            if self.core.cycles_since_commit() > WATCHDOG_CYCLES {
+                return Err(SimError::Deadlock { cycle: self.core.cycle });
+            }
+            self.core.tick();
+        }
+        let exit_code = match self.core.exit {
+            Some(CoreExit::Ecall) => self.reg(Reg::new(10)),
+            Some(CoreExit::ExitCsr(code)) => code,
+            None => unreachable!("loop exits only when core.exit is set"),
+        };
+        let mut stats = self.core.stats.clone();
+        stats.cycles = self.core.cycle;
+        Ok(RunResult {
+            cycles: self.core.cycle,
+            exit_code,
+            iterations: std::mem::take(&mut self.core.tracer.iterations),
+            stats,
+        })
+    }
+
+    /// Committed (architectural) value of a register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.core.arch_regs[r.index()]
+    }
+
+    /// Reads committed memory.
+    pub fn read_mem(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.core.mem.read_bytes(addr, len)
+    }
+
+    /// Writes memory directly (harness-level initialization).
+    pub fn write_mem(&mut self, addr: u64, bytes: &[u8]) {
+        self.core.mem.write_bytes(addr, bytes);
+    }
+
+    /// Flushes the L1D line containing `addr` (attacker model).
+    pub fn flush_dcache_line(&mut self, addr: u64) {
+        self.core.flush_dcache_line(addr);
+    }
+
+    /// Pre-installs the L1D lines covering `addr .. addr+len` (models data
+    /// that was recently touched, e.g. an initialized buffer).
+    pub fn warm_dcache(&mut self, addr: u64, len: u64) {
+        self.core.warm_dcache(addr, len);
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.core.cycle
+    }
+
+    /// Queues words for the program to read via `csrr rd, 0x8c8`
+    /// ([`microsampler_isa::CSR_INPUT`]).
+    pub fn push_inputs(&mut self, words: impl IntoIterator<Item = u64>) {
+        self.core.input_queue.extend(words);
+    }
+
+    /// Takes the words the program wrote via `csrw 0x8c9, rs`
+    /// ([`microsampler_isa::CSR_OUTPUT`]).
+    pub fn take_outputs(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.core.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+
+    fn run_on(config: CoreConfig, src: &str) -> (Machine, RunResult) {
+        let p = assemble(src).unwrap();
+        let mut m = Machine::new(config, &p);
+        let r = m.run(2_000_000).expect("run completes");
+        (m, r)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        for cfg in [CoreConfig::small_boom(), CoreConfig::mega_boom()] {
+            let (m, r) = run_on(
+                cfg,
+                "li a0, 21\nslli a1, a0, 1\nsub a2, a1, a0\nadd a0, a1, a2\necall\n",
+            );
+            assert_eq!(m.reg(Reg::new(10)), 63);
+            assert!(r.cycles > 0);
+            assert!(r.stats.ipc() > 0.0);
+        }
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        let (m, _) = run_on(
+            CoreConfig::small_boom(),
+            "li a0, 0\nli t0, 100\nloop: add a0, a0, t0\naddi t0, t0, -1\nbgtz t0, loop\necall\n",
+        );
+        assert_eq!(m.reg(Reg::new(10)), 5050);
+    }
+
+    #[test]
+    fn memory_and_forwarding() {
+        let (m, r) = run_on(
+            CoreConfig::mega_boom(),
+            r#"
+            .data
+            buf: .zero 64
+            .text
+            la t0, buf
+            li t1, 0x1234
+            sd t1, 0(t0)
+            ld a0, 0(t0)      # should forward from the store queue
+            sb a0, 17(t0)
+            lbu a1, 17(t0)
+            ecall
+            "#,
+        );
+        assert_eq!(m.reg(Reg::new(10)), 0x1234);
+        assert_eq!(m.reg(Reg::new(11)), 0x34);
+        assert!(r.stats.stl_forwards > 0, "expected store-to-load forwarding");
+    }
+
+    #[test]
+    fn call_return_uses_ras() {
+        let (m, r) = run_on(
+            CoreConfig::mega_boom(),
+            r#"
+            _start:
+                li a0, 1
+                li t2, 8
+            again:
+                call bump
+                addi t2, t2, -1
+                bgtz t2, again
+                ecall
+            bump:
+                slli a0, a0, 1
+                ret
+            "#,
+        );
+        assert_eq!(m.reg(Reg::new(10)), 256);
+        // After warmup the RAS should make returns predictable.
+        assert!(r.stats.jalr_mispredicts <= 3, "{}", r.stats.jalr_mispredicts);
+    }
+
+    #[test]
+    fn misprediction_recovers_correctly() {
+        // A data-dependent unpredictable branch pattern; architectural
+        // results must still be exact.
+        let (m, r) = run_on(
+            CoreConfig::mega_boom(),
+            r#"
+            li s0, 0          # accumulator
+            li s1, 1          # lcg state
+            li t3, 200        # iterations
+            li t4, 1103515245
+            li t5, 12345
+            loop:
+                mul s1, s1, t4
+                add s1, s1, t5
+                srli t0, s1, 16
+                andi t0, t0, 1
+                beqz t0, skip
+                addi s0, s0, 1
+            skip:
+                addi t3, t3, -1
+                bgtz t3, loop
+            mv a0, s0
+            ecall
+            "#,
+        );
+        // Cross-checked with the golden interpreter in differential tests;
+        // here just require progress and some mispredictions happened.
+        assert!(r.stats.branch_mispredicts > 0);
+        assert!(m.reg(Reg::new(10)) <= 200);
+        assert!(r.stats.squashed > 0);
+    }
+
+    #[test]
+    fn caches_and_prefetcher_fire() {
+        let (_, r) = run_on(
+            CoreConfig::mega_boom(),
+            r#"
+            .data
+            arr: .zero 4096
+            .text
+            la t0, arr
+            li t1, 64         # walk 64 lines
+            loop:
+                ld t2, 0(t0)
+                addi t0, t0, 64
+                addi t1, t1, -1
+                bgtz t1, loop
+            la t0, arr        # second pass: must hit in the cache
+            li t1, 64
+            loop2:
+                ld t2, 0(t0)
+                addi t0, t0, 64
+                addi t1, t1, -1
+                bgtz t1, loop2
+            ecall
+            "#,
+        );
+        assert!(r.stats.l1d_misses > 0);
+        assert!(r.stats.prefetches > 0);
+        assert!(r.stats.l1d_hits >= 32, "second pass should hit ({} hits)", r.stats.l1d_hits);
+        assert!(r.stats.tlb_misses >= 1);
+    }
+
+    #[test]
+    fn iteration_traces_collected() {
+        let (_, r) = run_on(
+            CoreConfig::small_boom(),
+            r#"
+            csrw 0x8c0, zero       # SCR start
+            li s0, 2               # two iterations
+            li s1, 0
+            loop:
+                csrw 0x8c2, s1     # iter start, label = s1
+                li t0, 5
+                inner:
+                    addi t0, t0, -1
+                    bgtz t0, inner
+                csrw 0x8c3, zero   # iter end
+                addi s1, s1, 1
+                addi s0, s0, -1
+                bgtz s0, loop
+            csrw 0x8c1, zero       # SCR end
+            ecall
+            "#,
+        );
+        assert_eq!(r.iterations.len(), 2);
+        assert_eq!(r.iterations[0].label, 0);
+        assert_eq!(r.iterations[1].label, 1);
+        assert!(r.iterations[0].cycles() > 0);
+        // ROB-PC must have sampled something.
+        assert!(r.iterations[0].unit(crate::UnitId::RobPc).cycle_rows > 0);
+    }
+
+    #[test]
+    fn exit_csr_code_returned() {
+        let (_, r) = run_on(CoreConfig::small_boom(), "li a0, 7\ncsrw 0x8c4, a0\nnop\necall\n");
+        assert_eq!(r.exit_code, 7);
+    }
+
+    #[test]
+    fn out_of_cycles_reported() {
+        let p = assemble("spin: j spin\n").unwrap();
+        let mut m = Machine::new(CoreConfig::small_boom(), &p);
+        match m.run(500) {
+            Err(SimError::OutOfCycles { limit }) => assert_eq!(limit, 500),
+            other => panic!("expected OutOfCycles, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_timing_and_value() {
+        let (m, r) = run_on(
+            CoreConfig::small_boom(),
+            "li a0, 1000\nli a1, 7\ndivu a2, a0, a1\nremu a3, a0, a1\nmv a0, a2\necall\n",
+        );
+        assert_eq!(m.reg(Reg::new(10)), 142);
+        assert_eq!(m.reg(Reg::new(13)), 6);
+        assert!(r.cycles >= CoreConfig::small_boom().div_latency);
+    }
+}

@@ -1,0 +1,291 @@
+//! Front-end predictors: gshare direction predictor, branch target buffer,
+//! and return-address stack.
+//!
+//! History is updated speculatively at predict time and checkpointed per
+//! branch so the core can repair it on squash; pattern-history-table
+//! counters are trained at commit.
+
+/// gshare direction predictor: global history XOR PC indexes a table of
+/// 2-bit saturating counters.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    table: Vec<u8>,
+    history: u64,
+    mask: u64,
+}
+
+impl Gshare {
+    /// Creates a predictor with `entries` counters (power of two),
+    /// initialized to weakly-not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Gshare {
+        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
+        Gshare { table: vec![1; entries], history: 0, mask: entries as u64 - 1 }
+    }
+
+    /// Creates a predictor whose counters start in a pseudo-random
+    /// weakly-taken/weakly-not-taken mix (models the undefined power-on /
+    /// residual state of a real PHT; a deterministic seed keeps runs
+    /// reproducible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new_randomized(entries: usize, seed: u64) -> Gshare {
+        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
+        let mut state = seed | 1;
+        let table = (0..entries)
+            .map(|_| {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                if state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 0 {
+                    1
+                } else {
+                    2
+                }
+            })
+            .collect();
+        Gshare { table, history: 0, mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.mask) as usize
+    }
+
+    /// Predicts the direction for a branch at `pc` and speculatively shifts
+    /// the predicted outcome into the history register.
+    pub fn predict_and_update_history(&mut self, pc: u64) -> bool {
+        let taken = self.table[self.index(pc)] >= 2;
+        self.history = (self.history << 1) | taken as u64;
+        taken
+    }
+
+    /// Predicts without touching history (for inspection/tests).
+    pub fn predict(&self, pc: u64) -> bool {
+        self.table[self.index(pc)] >= 2
+    }
+
+    /// Current speculative global history (checkpoint this per branch).
+    pub fn history(&self) -> u64 {
+        self.history
+    }
+
+    /// Restores history after a squash: `checkpoint` is the history *before*
+    /// the mispredicted branch shifted its prediction in; the actual outcome
+    /// is then shifted in.
+    pub fn repair(&mut self, checkpoint: u64, actual_taken: bool) {
+        self.history = (checkpoint << 1) | actual_taken as u64;
+    }
+
+    /// Trains the counter for the branch at `pc` under history `hist`
+    /// (the history active when the branch predicted).
+    pub fn train(&mut self, pc: u64, hist: u64, taken: bool) {
+        let idx = (((pc >> 2) ^ hist) & self.mask) as usize;
+        let c = &mut self.table[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
+
+/// Direct-mapped branch target buffer.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    tags: Vec<u64>,
+    targets: Vec<u64>,
+    mask: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        Btb { tags: vec![u64::MAX; entries], targets: vec![0; entries], mask: entries as u64 - 1 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Looks up the predicted target for `pc`.
+    pub fn lookup(&self, pc: u64) -> Option<u64> {
+        let i = self.index(pc);
+        (self.tags[i] == pc).then_some(self.targets[i])
+    }
+
+    /// Installs or updates the target for `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let i = self.index(pc);
+        self.tags[i] = pc;
+        self.targets[i] = target;
+    }
+}
+
+/// Circular return-address stack with speculative push/pop and
+/// checkpoint/restore of the top-of-stack pointer.
+#[derive(Clone, Debug)]
+pub struct ReturnAddressStack {
+    stack: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> ReturnAddressStack {
+        assert!(entries > 0, "RAS must have at least one entry");
+        ReturnAddressStack { stack: vec![0; entries], top: 0, depth: 0 }
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, addr: u64) {
+        self.top = (self.top + 1) % self.stack.len();
+        self.stack[self.top] = addr;
+        self.depth = (self.depth + 1).min(self.stack.len());
+    }
+
+    /// Pops the predicted return address (on a return). Returns `None` when
+    /// empty (prediction falls back to the BTB).
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.stack[self.top];
+        self.top = (self.top + self.stack.len() - 1) % self.stack.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Snapshot of `(top, depth)` for checkpointing.
+    pub fn checkpoint(&self) -> (usize, usize) {
+        (self.top, self.depth)
+    }
+
+    /// Restores a snapshot taken by [`ReturnAddressStack::checkpoint`].
+    ///
+    /// Entries overwritten by wrong-path pushes stay corrupted, exactly as
+    /// in a real circular RAS.
+    pub fn restore(&mut self, snapshot: (usize, usize)) {
+        self.top = snapshot.0;
+        self.depth = snapshot.1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gshare_learns_bias() {
+        let mut g = Gshare::new(64);
+        let pc = 0x8000_0040;
+        for _ in 0..10 {
+            let h = g.history();
+            g.predict_and_update_history(pc);
+            g.train(pc, h, true);
+            g.repair(h, true); // keep history consistent with actual
+        }
+        assert!(g.predict(pc));
+        for _ in 0..10 {
+            let h = g.history();
+            g.predict_and_update_history(pc);
+            g.train(pc, h, false);
+            g.repair(h, false);
+        }
+        assert!(!g.predict(pc));
+    }
+
+    #[test]
+    fn gshare_learns_alternation_with_history() {
+        // A strictly alternating branch is predictable once history
+        // distinguishes the two contexts.
+        let mut g = Gshare::new(1024);
+        let pc = 0x8000_0000;
+        let mut correct = 0;
+        let mut total = 0;
+        let mut outcome = false;
+        for i in 0..200 {
+            outcome = !outcome;
+            let h = g.history();
+            let pred = g.predict_and_update_history(pc);
+            if i >= 100 {
+                total += 1;
+                if pred == outcome {
+                    correct += 1;
+                }
+            }
+            g.train(pc, h, outcome);
+            g.repair(h, outcome);
+        }
+        assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn history_repair() {
+        let mut g = Gshare::new(64);
+        let h0 = g.history();
+        g.predict_and_update_history(0x8000_0000);
+        g.predict_and_update_history(0x8000_0010); // wrong path
+        g.repair(h0, true);
+        assert_eq!(g.history(), (h0 << 1) | 1);
+    }
+
+    #[test]
+    fn btb_lookup_and_update() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(0x8000_0000), None);
+        b.update(0x8000_0000, 0x8000_0100);
+        assert_eq!(b.lookup(0x8000_0000), Some(0x8000_0100));
+        // Aliasing entry replaces.
+        b.update(0x8000_0000 + 16 * 4, 0x9000_0000);
+        assert_eq!(b.lookup(0x8000_0000), None);
+    }
+
+    #[test]
+    fn ras_basic_call_return() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), Some(0x200));
+        assert_eq!(r.pop(), Some(0x100));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn ras_checkpoint_restore() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(0x100);
+        let cp = r.checkpoint();
+        r.push(0x200); // wrong path call
+        r.pop();
+        r.pop(); // wrong path pops too far
+        r.restore(cp);
+        assert_eq!(r.pop(), Some(0x100));
+    }
+
+    #[test]
+    fn ras_overflow_wraps() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+}

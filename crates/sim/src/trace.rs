@@ -1,0 +1,565 @@
+//! Cycle-granularity microarchitectural tracing (paper §V-A/§V-B).
+//!
+//! Each simulated cycle inside an active security-critical region, the core
+//! reports one row of values per tracked unit (Table IV). Rows are folded
+//! into per-iteration summaries:
+//!
+//! * a streaming **snapshot hash** over the full 2-D matrix (rows × cycles),
+//! * a **timeless hash** with consecutive duplicate rows consolidated
+//!   (the timing-removal transform of Fig. 9),
+//! * the **feature set** (distinct non-zero values) for uniqueness analysis,
+//! * the **feature order** (first-occurrence sequence) for ordering analysis,
+//! * optionally the **raw matrix** (for small runs, figures and tests).
+//!
+//! A text-log path ([`Tracer::enable_log`] / [`parse_text_log`]) mirrors the
+//! paper's simulator-log-then-parse pipeline and is checked in tests to
+//! produce byte-identical summaries.
+
+use microsampler_stats::SipHasher;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a tracked microarchitectural unit (paper Table IV).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum UnitId {
+    /// Store queue destination addresses.
+    SqAddr,
+    /// Store queue program counters.
+    SqPc,
+    /// Load queue addresses.
+    LqAddr,
+    /// Load queue program counters.
+    LqPc,
+    /// ROB occupancy (single column).
+    RobOccupancy,
+    /// ROB program counters (includes wrong-path entries until squash).
+    RobPc,
+    /// Line-fill buffer content digests.
+    LfbData,
+    /// Line-fill buffer addresses.
+    LfbAddr,
+    /// ALU busy-with-PC.
+    EuuAlu,
+    /// Address-generation unit busy-with-PC.
+    EuuAddrGen,
+    /// Divider busy-with-PC.
+    EuuDiv,
+    /// Multiplier busy-with-PC.
+    EuuMul,
+    /// Next-line prefetcher addresses issued.
+    NlpAddr,
+    /// D-cache request addresses issued.
+    CacheAddr,
+    /// TLB resident entries.
+    TlbAddr,
+    /// MSHR outstanding miss addresses.
+    MshrAddr,
+}
+
+impl UnitId {
+    /// All sixteen units, in canonical order.
+    pub const ALL: [UnitId; 16] = [
+        UnitId::SqAddr,
+        UnitId::SqPc,
+        UnitId::LqAddr,
+        UnitId::LqPc,
+        UnitId::RobOccupancy,
+        UnitId::RobPc,
+        UnitId::LfbData,
+        UnitId::LfbAddr,
+        UnitId::EuuAlu,
+        UnitId::EuuAddrGen,
+        UnitId::EuuDiv,
+        UnitId::EuuMul,
+        UnitId::NlpAddr,
+        UnitId::CacheAddr,
+        UnitId::TlbAddr,
+        UnitId::MshrAddr,
+    ];
+
+    /// Number of tracked units.
+    pub const COUNT: usize = 16;
+
+    /// Canonical index, `0..16`.
+    pub fn index(self) -> usize {
+        UnitId::ALL.iter().position(|&u| u == self).expect("unit in ALL")
+    }
+
+    /// Paper feature ID, e.g. `"SQ-ADDR"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnitId::SqAddr => "SQ-ADDR",
+            UnitId::SqPc => "SQ-PC",
+            UnitId::LqAddr => "LQ-ADDR",
+            UnitId::LqPc => "LQ-PC",
+            UnitId::RobOccupancy => "ROB-OCPNCY",
+            UnitId::RobPc => "ROB-PC",
+            UnitId::LfbData => "LFB-Data",
+            UnitId::LfbAddr => "LFB-ADDR",
+            UnitId::EuuAlu => "EUU-ALU",
+            UnitId::EuuAddrGen => "EUU-ADDRGEN",
+            UnitId::EuuDiv => "EUU-DIV",
+            UnitId::EuuMul => "EUU-MUL",
+            UnitId::NlpAddr => "NLP-ADDR",
+            UnitId::CacheAddr => "Cache-ADDR",
+            UnitId::TlbAddr => "TLB-ADDR",
+            UnitId::MshrAddr => "MSHR-ADDR",
+        }
+    }
+
+    /// Parses a paper feature ID.
+    pub fn from_name(name: &str) -> Option<UnitId> {
+        UnitId::ALL.iter().copied().find(|u| u.name() == name)
+    }
+}
+
+impl fmt::Display for UnitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tracer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Retain raw per-cycle matrices in each [`UnitTrace`] (memory-hungry;
+    /// intended for small runs, figures and tests).
+    pub keep_matrices: bool,
+    /// SipHash key for snapshot hashing.
+    pub hash_key: (u64, u64),
+    /// Use SipHash-1-3 (CPython's default) when true, SipHash-2-4 otherwise.
+    pub sip13: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig { keep_matrices: false, hash_key: (0x4d53_4d50, 0x4c52_5f31), sip13: true }
+    }
+}
+
+impl TraceConfig {
+    fn hasher(&self) -> SipHasher {
+        if self.sip13 {
+            SipHasher::new_1_3(self.hash_key.0, self.hash_key.1)
+        } else {
+            SipHasher::new_2_4(self.hash_key.0, self.hash_key.1)
+        }
+    }
+}
+
+/// Per-iteration summary of one unit's snapshot (see module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitTrace {
+    /// Snapshot hash over the full matrix.
+    pub hash: u64,
+    /// Snapshot hash with consecutive duplicate rows consolidated.
+    pub hash_timeless: u64,
+    /// Distinct non-zero values observed.
+    pub features: BTreeSet<u64>,
+    /// Values in first-occurrence order.
+    pub order: Vec<u64>,
+    /// Raw matrix (`rows[cycle][entry]`), kept only when
+    /// [`TraceConfig::keep_matrices`] is set.
+    pub rows: Option<Vec<Vec<u64>>>,
+    /// Number of sampled cycles.
+    pub cycle_rows: u64,
+}
+
+/// Everything sampled for one algorithmic iteration, labeled with its
+/// secret class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IterationTrace {
+    /// Secret-class label written by the `ITER_START` marker.
+    pub label: u64,
+    /// First sampled cycle.
+    pub start_cycle: u64,
+    /// Last sampled cycle.
+    pub end_cycle: u64,
+    /// Per-unit summaries, indexed by [`UnitId::index`].
+    pub units: Vec<UnitTrace>,
+}
+
+impl IterationTrace {
+    /// Iteration length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle) + 1
+    }
+
+    /// The summary for one unit.
+    pub fn unit(&self, unit: UnitId) -> &UnitTrace {
+        &self.units[unit.index()]
+    }
+}
+
+struct UnitBuilder {
+    hasher: SipHasher,
+    timeless_hasher: SipHasher,
+    last_row: Option<Vec<u64>>,
+    features: BTreeSet<u64>,
+    order: Vec<u64>,
+    rows: Option<Vec<Vec<u64>>>,
+    cycle_rows: u64,
+}
+
+impl UnitBuilder {
+    fn new(cfg: &TraceConfig) -> UnitBuilder {
+        UnitBuilder {
+            hasher: cfg.hasher(),
+            timeless_hasher: cfg.hasher(),
+            last_row: None,
+            features: BTreeSet::new(),
+            order: Vec::new(),
+            rows: cfg.keep_matrices.then(Vec::new),
+            cycle_rows: 0,
+        }
+    }
+
+    fn push_row(&mut self, row: &[u64]) {
+        self.cycle_rows += 1;
+        self.hasher.write_u64(row.len() as u64);
+        for &v in row {
+            self.hasher.write_u64(v);
+        }
+        if self.last_row.as_deref() != Some(row) {
+            self.timeless_hasher.write_u64(row.len() as u64);
+            for &v in row {
+                self.timeless_hasher.write_u64(v);
+            }
+            self.last_row = Some(row.to_vec());
+        }
+        for &v in row {
+            if v != 0 && self.features.insert(v) {
+                self.order.push(v);
+            }
+        }
+        if let Some(rows) = &mut self.rows {
+            rows.push(row.to_vec());
+        }
+    }
+
+    fn finish(self) -> UnitTrace {
+        UnitTrace {
+            hash: self.hasher.finish(),
+            hash_timeless: self.timeless_hasher.finish(),
+            features: self.features,
+            order: self.order,
+            rows: self.rows,
+            cycle_rows: self.cycle_rows,
+        }
+    }
+}
+
+struct InProgress {
+    label: u64,
+    start_cycle: u64,
+    last_cycle: u64,
+    units: Vec<UnitBuilder>,
+}
+
+/// Collects per-cycle unit rows into labeled [`IterationTrace`]s,
+/// optionally also emitting the text log format.
+pub struct Tracer {
+    cfg: TraceConfig,
+    in_scr: bool,
+    current: Option<InProgress>,
+    /// Completed iterations in commit order.
+    pub iterations: Vec<IterationTrace>,
+    log: Option<String>,
+}
+
+impl Tracer {
+    /// Creates a tracer.
+    pub fn new(cfg: TraceConfig) -> Tracer {
+        Tracer { cfg, in_scr: false, current: None, iterations: Vec::new(), log: None }
+    }
+
+    /// Starts accumulating the text log (paper's simulator-log pipeline).
+    pub fn enable_log(&mut self) {
+        self.log = Some(String::from("# MicroSampler trace log v1\n"));
+    }
+
+    /// The accumulated text log, if enabled.
+    pub fn log_text(&self) -> Option<&str> {
+        self.log.as_deref()
+    }
+
+    /// Whether sampling should run this cycle.
+    pub fn active(&self) -> bool {
+        self.in_scr && self.current.is_some()
+    }
+
+    /// Handles an `SCR_START` marker commit.
+    pub fn scr_start(&mut self, cycle: u64) {
+        self.in_scr = true;
+        if let Some(log) = &mut self.log {
+            log.push_str(&format!("M SCR_START {cycle}\n"));
+        }
+    }
+
+    /// Handles an `SCR_END` marker commit.
+    pub fn scr_end(&mut self, cycle: u64) {
+        self.in_scr = false;
+        if let Some(log) = &mut self.log {
+            log.push_str(&format!("M SCR_END {cycle}\n"));
+        }
+    }
+
+    /// Handles an `ITER_START` marker commit. An unterminated previous
+    /// iteration is finalized first.
+    pub fn iter_start(&mut self, cycle: u64, label: u64) {
+        self.iter_end(cycle);
+        self.current = Some(InProgress {
+            label,
+            start_cycle: cycle,
+            last_cycle: cycle,
+            units: (0..UnitId::COUNT).map(|_| UnitBuilder::new(&self.cfg)).collect(),
+        });
+        if let Some(log) = &mut self.log {
+            log.push_str(&format!("M ITER_START {cycle} {label}\n"));
+        }
+    }
+
+    /// Handles an `ITER_END` marker commit.
+    pub fn iter_end(&mut self, cycle: u64) {
+        if let Some(cur) = self.current.take() {
+            self.iterations.push(IterationTrace {
+                label: cur.label,
+                start_cycle: cur.start_cycle,
+                end_cycle: cur.last_cycle,
+                units: cur.units.into_iter().map(UnitBuilder::finish).collect(),
+            });
+            if let Some(log) = &mut self.log {
+                log.push_str(&format!("M ITER_END {cycle}\n"));
+            }
+        }
+    }
+
+    /// Records one unit's row for the current cycle. Call exactly once per
+    /// unit per active cycle, after [`Tracer::begin_cycle`].
+    pub fn record_row(&mut self, unit: UnitId, row: &[u64]) {
+        let Some(cur) = &mut self.current else { return };
+        cur.units[unit.index()].push_row(row);
+        if let Some(log) = &mut self.log {
+            log.push_str(&format!("C {} {}", cur.last_cycle, unit.name()));
+            for v in row {
+                log.push_str(&format!(" {v:x}"));
+            }
+            log.push('\n');
+        }
+    }
+
+    /// Marks the cycle being sampled (call before the `record_row` batch).
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        if let Some(cur) = &mut self.current {
+            cur.last_cycle = cycle;
+        }
+    }
+}
+
+/// Errors from [`parse_text_log`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseLogError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseLogError {}
+
+/// Parses a text trace log back into [`IterationTrace`]s (the MicroSampler
+/// Parser of paper step ②). Produces summaries identical to the ones the
+/// live [`Tracer`] builds.
+///
+/// # Errors
+///
+/// Returns [`ParseLogError`] on malformed lines.
+pub fn parse_text_log(text: &str, cfg: TraceConfig) -> Result<Vec<IterationTrace>, ParseLogError> {
+    let mut tracer = Tracer::new(cfg);
+    for (idx, line) in text.lines().enumerate() {
+        let lno = idx as u32 + 1;
+        let err = |m: String| ParseLogError { line: lno, message: m };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("M") => {
+                let kind = parts.next().ok_or_else(|| err("missing marker kind".into()))?;
+                let cycle: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("missing marker cycle".into()))?;
+                match kind {
+                    "SCR_START" => tracer.scr_start(cycle),
+                    "SCR_END" => tracer.scr_end(cycle),
+                    "ITER_START" => {
+                        let label: u64 = parts
+                            .next()
+                            .and_then(|s| s.parse().ok())
+                            .ok_or_else(|| err("missing iteration label".into()))?;
+                        tracer.iter_start(cycle, label);
+                    }
+                    "ITER_END" => tracer.iter_end(cycle),
+                    other => return Err(err(format!("unknown marker `{other}`"))),
+                }
+            }
+            Some("C") => {
+                let cycle: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("missing cycle".into()))?;
+                let unit_name = parts.next().ok_or_else(|| err("missing unit".into()))?;
+                let unit = UnitId::from_name(unit_name)
+                    .ok_or_else(|| err(format!("unknown unit `{unit_name}`")))?;
+                let mut row = Vec::new();
+                for tok in parts {
+                    row.push(
+                        u64::from_str_radix(tok, 16)
+                            .map_err(|_| err(format!("bad value `{tok}`")))?,
+                    );
+                }
+                tracer.begin_cycle(cycle);
+                tracer.record_row(unit, &row);
+            }
+            Some(other) => return Err(err(format!("unknown record `{other}`"))),
+            None => {}
+        }
+    }
+    // An unterminated trailing iteration (truncated log) is dropped, like
+    // the live tracer drops an iteration whose ITER_END never commits.
+    Ok(tracer.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tracer(keep: bool) -> Tracer {
+        let mut t = Tracer::new(TraceConfig { keep_matrices: keep, ..TraceConfig::default() });
+        t.enable_log();
+        t.scr_start(10);
+        t.iter_start(10, 1);
+        t.begin_cycle(11);
+        t.record_row(UnitId::SqAddr, &[0x100, 0, 0]);
+        t.record_row(UnitId::RobOccupancy, &[3]);
+        t.begin_cycle(12);
+        t.record_row(UnitId::SqAddr, &[0x100, 0, 0]);
+        t.record_row(UnitId::RobOccupancy, &[4]);
+        t.begin_cycle(13);
+        t.record_row(UnitId::SqAddr, &[0x100, 0x200, 0]);
+        t.record_row(UnitId::RobOccupancy, &[4]);
+        t.iter_end(14);
+        t.scr_end(14);
+        t
+    }
+
+    #[test]
+    fn unit_names_roundtrip() {
+        for u in UnitId::ALL {
+            assert_eq!(UnitId::from_name(u.name()), Some(u));
+        }
+        assert_eq!(UnitId::from_name("BOGUS"), None);
+        assert_eq!(UnitId::ALL.len(), UnitId::COUNT);
+    }
+
+    #[test]
+    fn features_and_order_collected() {
+        let t = sample_tracer(false);
+        let iter = &t.iterations[0];
+        let sq = iter.unit(UnitId::SqAddr);
+        assert_eq!(sq.features.iter().copied().collect::<Vec<_>>(), vec![0x100, 0x200]);
+        assert_eq!(sq.order, vec![0x100, 0x200]);
+        assert_eq!(sq.cycle_rows, 3);
+        assert_eq!(iter.cycles(), 13 - 10 + 1);
+        assert_eq!(iter.label, 1);
+    }
+
+    #[test]
+    fn timeless_hash_collapses_duplicates() {
+        let t = sample_tracer(false);
+        let sq = t.iterations[0].unit(UnitId::SqAddr);
+        // Rows: A A B → timeless = A B; full = A A B. Hashes differ.
+        assert_ne!(sq.hash, sq.hash_timeless);
+        // ROB occupancy rows 3 4 4 → timeless 3 4.
+        let rob = t.iterations[0].unit(UnitId::RobOccupancy);
+        assert_ne!(rob.hash, rob.hash_timeless);
+    }
+
+    #[test]
+    fn identical_matrices_hash_equal() {
+        let t1 = sample_tracer(false);
+        let t2 = sample_tracer(false);
+        assert_eq!(t1.iterations[0].unit(UnitId::SqAddr).hash, t2.iterations[0].unit(UnitId::SqAddr).hash);
+    }
+
+    #[test]
+    fn matrices_kept_when_requested() {
+        let t = sample_tracer(true);
+        let rows = t.iterations[0].unit(UnitId::SqAddr).rows.as_ref().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], vec![0x100, 0x200, 0]);
+        let t2 = sample_tracer(false);
+        assert!(t2.iterations[0].unit(UnitId::SqAddr).rows.is_none());
+    }
+
+    #[test]
+    fn log_parses_back_to_identical_summaries() {
+        let t = sample_tracer(false);
+        let parsed =
+            parse_text_log(t.log_text().unwrap(), TraceConfig::default()).unwrap();
+        assert_eq!(parsed, t.iterations);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_text_log("X what\n", TraceConfig::default()).is_err());
+        assert!(parse_text_log("C 5 NOT-A-UNIT 1 2\n", TraceConfig::default()).is_err());
+        assert!(parse_text_log("M WHAT 5\n", TraceConfig::default()).is_err());
+        let e = parse_text_log("# ok\nM ITER_START nope\n", TraceConfig::default()).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unterminated_iteration_flushed_by_next_start() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.scr_start(0);
+        t.iter_start(1, 7);
+        t.begin_cycle(2);
+        t.record_row(UnitId::SqAddr, &[1]);
+        t.iter_start(3, 8); // implicitly ends iteration 7
+        t.iter_end(4);
+        assert_eq!(t.iterations.len(), 2);
+        assert_eq!(t.iterations[0].label, 7);
+        assert_eq!(t.iterations[1].label, 8);
+    }
+
+    #[test]
+    fn rows_of_different_widths_hash_differently() {
+        let cfg = TraceConfig::default();
+        let mut a = UnitBuilder::new(&cfg);
+        a.push_row(&[1, 0]);
+        a.push_row(&[2, 0]);
+        let mut b = UnitBuilder::new(&cfg);
+        b.push_row(&[1, 0, 2, 0]);
+        assert_ne!(a.finish().hash, b.finish().hash);
+    }
+
+    #[test]
+    fn hash13_vs_24_differ() {
+        let mut cfg = TraceConfig::default();
+        let mut a = UnitBuilder::new(&cfg);
+        a.push_row(&[5]);
+        cfg.sip13 = false;
+        let mut b = UnitBuilder::new(&cfg);
+        b.push_row(&[5]);
+        assert_ne!(a.finish().hash, b.finish().hash);
+    }
+}

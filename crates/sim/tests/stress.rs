@@ -1,0 +1,164 @@
+//! Differential stress: randomly generated branchy programs (forward-only
+//! random control flow plus bounded counted loops, so termination is
+//! guaranteed) must match the golden interpreter on every configuration.
+
+use microsampler_isa::asm::assemble;
+use microsampler_isa::Reg;
+use microsampler_sim::interp::{Interp, StopReason};
+use microsampler_sim::{CoreConfig, Machine};
+use proptest::prelude::*;
+
+/// Builds a random program from `spec`:
+/// * registers x5..x31 seeded deterministically,
+/// * a bounded outer loop (`loop_iters`),
+/// * inside, a chain of blocks with random ALU ops, loads/stores into a
+///   scratch array, and forward-only conditional branches between blocks.
+fn generate(spec: &ProgramSpec) -> String {
+    const ALU: [&str; 12] =
+        ["add", "sub", "xor", "or", "and", "sll", "srl", "sra", "mul", "addw", "subw", "sltu"];
+    const BR: [&str; 6] = ["beq", "bne", "blt", "bge", "bltu", "bgeu"];
+    let mut src = String::from(".data\nscratch: .zero 512\n.text\n_start:\n");
+    for i in 5..32 {
+        src.push_str(&format!("li x{i}, {}\n", (i as i64 * 7919) ^ spec.seed as i64));
+    }
+    src.push_str("la x4, scratch\n"); // tp as scratch base (not in rand pool)
+    src.push_str(&format!("li x3, {}\n", spec.loop_iters)); // gp = loop counter
+    src.push_str("outer:\n");
+    let mut r = spec.seed;
+    let mut rnd = move || {
+        r ^= r << 13;
+        r ^= r >> 7;
+        r ^= r << 17;
+        r
+    };
+    let nblocks = spec.blocks.max(1);
+    for b in 0..nblocks {
+        src.push_str(&format!("blk{b}:\n"));
+        for _ in 0..spec.ops_per_block {
+            let rd = 5 + (rnd() % 27) as u8;
+            let rs1 = 5 + (rnd() % 27) as u8;
+            let rs2 = 5 + (rnd() % 27) as u8;
+            match rnd() % 10 {
+                0 => {
+                    // Store to a safe scratch slot.
+                    let off = (rnd() % 64) * 8;
+                    src.push_str(&format!("sd x{rs1}, {off}(x4)\n"));
+                }
+                1 => {
+                    let off = (rnd() % 64) * 8;
+                    src.push_str(&format!("ld x{rd}, {off}(x4)\n"));
+                }
+                2 if b + 1 < nblocks => {
+                    // Forward-only branch to a later block: no new loops.
+                    let target = b + 1 + (rnd() as usize % (nblocks - b - 1).max(1));
+                    let op = BR[(rnd() % 6) as usize];
+                    src.push_str(&format!("{op} x{rs1}, x{rs2}, blk{target}\n"));
+                }
+                _ => {
+                    let op = ALU[(rnd() % 12) as usize];
+                    src.push_str(&format!("{op} x{rd}, x{rs1}, x{rs2}\n"));
+                }
+            }
+        }
+    }
+    src.push_str("addi x3, x3, -1\nbgtz x3, outer\n");
+    // Fold everything into a0 so a single register witnesses the state.
+    src.push_str("li x10, 0\n");
+    for i in 5..32 {
+        if i != 10 {
+            src.push_str(&format!("add x10, x10, x{i}\n"));
+        }
+    }
+    src.push_str("ecall\n");
+    src
+}
+
+#[derive(Clone, Debug)]
+struct ProgramSpec {
+    seed: u64,
+    blocks: usize,
+    ops_per_block: usize,
+    loop_iters: u32,
+}
+
+fn spec_strategy() -> impl Strategy<Value = ProgramSpec> {
+    (1u64..u64::MAX, 1usize..6, 1usize..10, 1u32..6).prop_map(
+        |(seed, blocks, ops_per_block, loop_iters)| ProgramSpec {
+            seed,
+            blocks,
+            ops_per_block,
+            loop_iters,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+    #[test]
+    fn random_branchy_programs_match_golden_model(spec in spec_strategy()) {
+        let src = generate(&spec);
+        let program = assemble(&src).expect("generated program assembles");
+        let mut golden = Interp::new(&program);
+        let stop = golden.run(5_000_000).expect("golden model runs");
+        prop_assert_eq!(stop, StopReason::Ecall);
+        for cfg in [
+            CoreConfig::small_boom(),
+            CoreConfig::mega_boom(),
+            CoreConfig::mega_boom().with_fast_bypass(),
+            CoreConfig::mega_boom().with_random_bpred(spec.seed),
+        ] {
+            let name = cfg.name;
+            let fb = cfg.fast_bypass;
+            let mut machine = Machine::new(cfg, &program);
+            machine.run(20_000_000).unwrap_or_else(|e| panic!("[{name} fb={fb}] {e}\n{src}"));
+            for r in Reg::all() {
+                prop_assert_eq!(
+                    machine.reg(r),
+                    golden.reg(r),
+                    "[{} fb={}] register {} mismatch (seed {})",
+                    name, fb, r, spec.seed
+                );
+            }
+            prop_assert_eq!(
+                machine.read_mem(program.symbol_addr("scratch"), 512),
+                golden.mem.read_bytes(program.symbol_addr("scratch"), 512),
+                "[{} fb={}] scratch memory mismatch", name, fb
+            );
+        }
+    }
+}
+
+/// The fast-bypass optimization must actually *optimize*: a zero-heavy
+/// AND workload runs in fewer cycles with it enabled.
+#[test]
+fn fast_bypass_improves_performance_on_trivial_ands() {
+    let src = r#"
+        li   t0, 0          # always-zero operand
+        li   t1, 0xABCD
+        li   t2, 2000
+        loop:
+            and  t3, t1, t0  # trivial: skipped under fast bypass
+            xor  t1, t1, t3  # dependent
+            and  t4, t1, t0
+            xor  t1, t1, t4
+            addi t2, t2, -1
+            bgtz t2, loop
+        mv a0, t1
+        ecall
+    "#;
+    let p = assemble(src).unwrap();
+    let run = |cfg: CoreConfig| {
+        let mut m = Machine::new(cfg, &p);
+        let r = m.run(10_000_000).unwrap();
+        (r.cycles, r.stats.fast_bypasses, m.reg(Reg::new(10)))
+    };
+    let (base_cycles, base_fb, base_result) = run(CoreConfig::mega_boom());
+    let (opt_cycles, opt_fb, opt_result) = run(CoreConfig::mega_boom().with_fast_bypass());
+    assert_eq!(base_result, opt_result, "optimization must preserve semantics");
+    assert_eq!(base_fb, 0);
+    assert!(opt_fb >= 2000, "both ANDs per iteration should bypass ({opt_fb})");
+    assert!(
+        opt_cycles < base_cycles,
+        "fast bypass should save cycles ({opt_cycles} vs {base_cycles})"
+    );
+}

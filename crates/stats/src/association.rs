@@ -1,0 +1,163 @@
+use std::fmt;
+
+/// Cramér's V threshold above which the paper considers association
+/// "strong" (Cohen's conventions, paper §V-C2).
+pub const CRAMERS_V_STRONG: f64 = 0.5;
+
+/// p-value threshold below which the measured association is considered
+/// statistically significant (paper §V-C2).
+pub const P_SIGNIFICANT: f64 = 0.05;
+
+/// Qualitative association strength per Cohen's conventions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strength {
+    /// V < 0.1
+    Negligible,
+    /// 0.1 <= V < 0.3
+    Weak,
+    /// 0.3 <= V < 0.5
+    Moderate,
+    /// V >= 0.5
+    Strong,
+}
+
+impl fmt::Display for Strength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strength::Negligible => "negligible",
+            Strength::Weak => "weak",
+            Strength::Moderate => "moderate",
+            Strength::Strong => "strong",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The result of a class↔state association test on one contingency table.
+///
+/// Combines Pearson's χ² (with degrees of freedom and upper-tail p-value)
+/// and Cramér's V in both the paper's plain form and a bias-corrected form.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Association {
+    /// Pearson's χ² statistic.
+    pub chi2: f64,
+    /// Degrees of freedom, `(r-1)(k-1)` over non-empty rows/columns.
+    pub dof: u64,
+    /// Upper-tail p-value: probability of a χ² at least this large under
+    /// the null hypothesis of independence.
+    pub p_value: f64,
+    /// Cramér's V (paper Eq. 2), in `[0, 1]`.
+    pub cramers_v: f64,
+    /// Bias-corrected Cramér's V (Bergsma 2013).
+    pub cramers_v_corrected: f64,
+    /// Total number of observations.
+    pub n: u64,
+    /// Number of non-empty classes (rows).
+    pub classes: u64,
+    /// Number of non-empty categories (columns).
+    pub categories: u64,
+}
+
+impl Association {
+    /// An association carrying no evidence (empty or degenerate table).
+    pub fn none() -> Association {
+        Association {
+            chi2: 0.0,
+            dof: 0,
+            p_value: 1.0,
+            cramers_v: 0.0,
+            cramers_v_corrected: 0.0,
+            n: 0,
+            classes: 0,
+            categories: 0,
+        }
+    }
+
+    /// True when the association is statistically significant
+    /// (p < [`P_SIGNIFICANT`]).
+    pub fn is_significant(&self) -> bool {
+        self.p_value < P_SIGNIFICANT
+    }
+
+    /// Qualitative strength of the (plain) Cramér's V.
+    pub fn strength(&self) -> Strength {
+        match self.cramers_v {
+            v if v >= 0.5 => Strength::Strong,
+            v if v >= 0.3 => Strength::Moderate,
+            v if v >= 0.1 => Strength::Weak,
+            _ => Strength::Negligible,
+        }
+    }
+
+    /// The paper's leak verdict: strong (V > 0.5) **and** statistically
+    /// significant (p < 0.05) association.
+    pub fn is_leak(&self) -> bool {
+        self.cramers_v > CRAMERS_V_STRONG && self.is_significant()
+    }
+}
+
+impl fmt::Display for Association {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "V={:.3} ({}) chi2={:.2} dof={} p={:.3e} n={}",
+            self.cramers_v,
+            self.strength(),
+            self.chi2,
+            self.dof,
+            self.p_value,
+            self.n
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strength_bands() {
+        let mut a = Association::none();
+        for (v, s) in [
+            (0.0, Strength::Negligible),
+            (0.09, Strength::Negligible),
+            (0.1, Strength::Weak),
+            (0.29, Strength::Weak),
+            (0.3, Strength::Moderate),
+            (0.49, Strength::Moderate),
+            (0.5, Strength::Strong),
+            (1.0, Strength::Strong),
+        ] {
+            a.cramers_v = v;
+            assert_eq!(a.strength(), s, "v={v}");
+        }
+    }
+
+    #[test]
+    fn leak_needs_both_conditions() {
+        let mut a = Association::none();
+        a.cramers_v = 0.9;
+        a.p_value = 0.5; // strong but not significant
+        assert!(!a.is_leak());
+        a.p_value = 0.001;
+        assert!(a.is_leak());
+        a.cramers_v = 0.4; // significant but not strong
+        assert!(!a.is_leak());
+    }
+
+    #[test]
+    fn none_is_inert() {
+        let a = Association::none();
+        assert!(!a.is_leak());
+        assert!(!a.is_significant());
+        assert_eq!(a.strength(), Strength::Negligible);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = Association::none();
+        let s = a.to_string();
+        assert!(s.contains("V=0.000"));
+        assert!(s.contains("negligible"));
+    }
+}

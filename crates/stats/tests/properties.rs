@@ -1,0 +1,111 @@
+//! Property tests for the statistical core: invariants that must hold for
+//! arbitrary contingency data.
+
+use microsampler_stats::{
+    chi_squared, chi_squared_p_value, cramers_v, cramers_v_corrected, gamma, siphash13,
+    ContingencyTable,
+};
+use proptest::prelude::*;
+
+fn table_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    // Up to 4 classes x 12 categories with counts 0..50.
+    (2usize..=4, 2usize..=12).prop_flat_map(|(r, k)| {
+        proptest::collection::vec(proptest::collection::vec(0u64..50, k), r)
+    })
+}
+
+proptest! {
+    #[test]
+    fn chi2_nonnegative_and_v_in_unit_interval(rows in table_strategy()) {
+        let (chi2, dof) = chi_squared(&rows);
+        prop_assert!(chi2 >= 0.0);
+        let n: u64 = rows.iter().flatten().sum();
+        let live_rows = rows.iter().filter(|r| r.iter().any(|&c| c > 0)).count() as u64;
+        let live_cols = (0..rows[0].len())
+            .filter(|&j| rows.iter().any(|r| r[j] > 0))
+            .count() as u64;
+        let v = cramers_v(chi2, n, live_rows, live_cols);
+        prop_assert!((0.0..=1.0).contains(&v), "v={v}");
+        let vc = cramers_v_corrected(chi2, n, live_rows, live_cols);
+        prop_assert!((0.0..=1.0).contains(&vc), "vc={vc}");
+        let p = chi_squared_p_value(chi2, dof);
+        prop_assert!((0.0..=1.0).contains(&p), "p={p}");
+    }
+
+    #[test]
+    fn chi2_invariant_under_row_permutation(rows in table_strategy()) {
+        let (a, dof_a) = chi_squared(&rows);
+        let mut rev = rows.clone();
+        rev.reverse();
+        let (b, dof_b) = chi_squared(&rev);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+        prop_assert_eq!(dof_a, dof_b);
+    }
+
+    #[test]
+    fn chi2_invariant_under_column_permutation(rows in table_strategy()) {
+        let (a, _) = chi_squared(&rows);
+        let permuted: Vec<Vec<u64>> =
+            rows.iter().map(|r| r.iter().rev().copied().collect()).collect();
+        let (b, _) = chi_squared(&permuted);
+        prop_assert!((a - b).abs() < 1e-9 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn duplicating_rows_preserves_independence_verdict(row in proptest::collection::vec(1u64..50, 2..8)) {
+        // A table whose rows are identical is perfectly independent.
+        let rows = vec![row.clone(), row.clone(), row];
+        let (chi2, _) = chi_squared(&rows);
+        prop_assert!(chi2.abs() < 1e-6, "chi2={chi2}");
+    }
+
+    #[test]
+    fn scaling_counts_scales_chi2_linearly(rows in table_strategy(), factor in 2u64..5) {
+        let (a, dof_a) = chi_squared(&rows);
+        let scaled: Vec<Vec<u64>> =
+            rows.iter().map(|r| r.iter().map(|&c| c * factor).collect()).collect();
+        let (b, dof_b) = chi_squared(&scaled);
+        prop_assert_eq!(dof_a, dof_b);
+        prop_assert!((b - a * factor as f64).abs() < 1e-6 * (1.0 + b.abs()), "a={a} b={b}");
+    }
+
+    #[test]
+    fn contingency_matches_manual_matrix(obs in proptest::collection::vec((0u64..3, 0u64..6), 1..200)) {
+        let table: ContingencyTable<u64, u64> = obs.iter().copied().collect();
+        let matrix = table.to_matrix();
+        let total: u64 = matrix.iter().flatten().sum();
+        prop_assert_eq!(total, obs.len() as u64);
+        prop_assert_eq!(table.total(), obs.len() as u64);
+        // Association must agree with computing from the dense matrix.
+        let (chi2, dof) = chi_squared(&matrix);
+        let assoc = table.association();
+        prop_assert!((assoc.chi2 - chi2).abs() < 1e-9);
+        prop_assert_eq!(assoc.dof, dof);
+    }
+
+    #[test]
+    fn gamma_p_q_complementary(a in 0.25f64..50.0, x in 0.0f64..100.0) {
+        let s = gamma::gamma_p(a, x) + gamma::gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "a={a} x={x} sum={s}");
+    }
+
+    #[test]
+    fn p_value_monotone_in_chi2(dof in 1u64..30, base in 0.0f64..50.0, delta in 0.0f64..50.0) {
+        let p1 = chi_squared_p_value(base, dof);
+        let p2 = chi_squared_p_value(base + delta, dof);
+        prop_assert!(p2 <= p1 + 1e-12, "p must not increase with chi2");
+    }
+
+    #[test]
+    fn siphash_deterministic_and_input_sensitive(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let h1 = siphash13(1, 2, &data);
+        let h2 = siphash13(1, 2, &data);
+        prop_assert_eq!(h1, h2);
+        // Flipping any single byte changes the digest (overwhelmingly).
+        if !data.is_empty() {
+            let mut flipped = data.clone();
+            flipped[0] ^= 0xFF;
+            prop_assert_ne!(siphash13(1, 2, &flipped), h1);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Review a microarchitectural optimization for security (the paper's
+//! `ME-V2-FB` case study): verified-safe constant-time code can be broken
+//! by a seemingly benign hardware change — here, the "fast bypass"
+//! trivial-computation optimization.
+//!
+//! ```sh
+//! cargo run --release --example hardware_optimization_review
+//! ```
+
+use microsampler_core::{analyze, feature_uniqueness, UnitId};
+use microsampler_kernels::inputs::random_keys;
+use microsampler_kernels::modexp::{ModexpKernel, ModexpVariant};
+use microsampler_sim::{CoreConfig, TraceConfig};
+
+fn run(config: CoreConfig) -> Result<microsampler_core::AnalysisReport, Box<dyn std::error::Error>> {
+    let kernel = ModexpKernel::new(ModexpVariant::V2Safe, 4);
+    let mut iterations = Vec::new();
+    for key in random_keys(8, 4, 1) {
+        let result = kernel.run(config.clone(), &key, TraceConfig::default())?;
+        assert_eq!(result.exit_code, kernel.reference(&key));
+        iterations.extend(result.iterations);
+    }
+    Ok(analyze(&iterations))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("BearSSL-style constant-time modular exponentiation (ME-V2-Safe)\n");
+
+    let baseline = run(CoreConfig::mega_boom())?;
+    println!(
+        "baseline core:            leaky = {:<5} (max V = {:.3})",
+        baseline.is_leaky(),
+        baseline.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max)
+    );
+
+    let optimized = run(CoreConfig::mega_boom().with_fast_bypass())?;
+    println!(
+        "core with fast bypass:    leaky = {:<5} (max V = {:.3})",
+        optimized.is_leaky(),
+        optimized.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max)
+    );
+
+    if optimized.is_leaky() && !baseline.is_leaky() {
+        println!("\nThe optimization broke the constant-time guarantee. Flagged units:");
+        for u in optimized.leaky_units() {
+            println!(
+                "  {:<12} V={:.3}  V(timing removed)={:.3}",
+                u.unit.name(),
+                u.assoc.cramers_v,
+                u.assoc_timeless.cramers_v
+            );
+        }
+        // The ALU trace pinpoints the skipped instruction: the AND only
+        // reaches the ALU when the key bit (mask) is non-zero.
+        let kernel = ModexpKernel::new(ModexpVariant::V2Safe, 4);
+        let mut iterations = Vec::new();
+        for key in random_keys(8, 4, 1) {
+            let r = kernel.run(
+                CoreConfig::mega_boom().with_fast_bypass(),
+                &key,
+                TraceConfig::default(),
+            )?;
+            iterations.extend(r.iterations);
+        }
+        let uniq = feature_uniqueness(&iterations, UnitId::EuuAlu);
+        for (class, pcs) in &uniq.unique {
+            if !pcs.is_empty() {
+                println!(
+                    "  ALU activity unique to key bit {class}: PCs {:x?}",
+                    pcs.iter().collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: write a tiny "constant-time" kernel in RV64 assembly, run it
+//! under MicroSampler, and read the verdict.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The kernel below *looks* constant-time but branches on the secret bit —
+//! MicroSampler flags the correlated units immediately.
+
+use microsampler_core::{analyze, feature_uniqueness, UnitId};
+use microsampler_isa::asm::assemble;
+use microsampler_sim::{CoreConfig, Machine, TraceConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy kernel: for each secret bit, do some arithmetic; when the bit
+    // is set, "normalize" through an extra reduction — a classic
+    // conditional-work bug.
+    let program = assemble(
+        r#"
+        .data
+        secret: .byte 0
+        .text
+        _start:
+            csrw 0x8c0, zero        # open the security-critical region
+            la   s0, secret
+            lbu  s1, 0(s0)          # the secret byte
+            li   s2, 7              # bit index
+            li   s3, 12345          # working value
+        loop:
+            srl  t0, s1, s2
+            andi t1, t0, 1          # current secret bit
+            csrw 0x8c2, t1          # ITER_START, label = bit
+            mul  s3, s3, s3
+            li   t2, 65521
+            remu s3, s3, t2
+            beqz t1, skip           # BUG: control flow depends on the bit
+            addi s3, s3, 1
+            remu s3, s3, t2
+        skip:
+            csrw 0x8c3, zero        # ITER_END
+            addi s2, s2, -1
+            bgez s2, loop
+            csrw 0x8c1, zero        # close the region
+            ecall
+        "#,
+    )?;
+
+    // Run the kernel over several secrets, pooling the labeled iterations.
+    let mut iterations = Vec::new();
+    for secret in [0x5Au8, 0xC3, 0x0F, 0x96, 0x3C, 0xA5] {
+        let mut machine = Machine::with_trace_config(
+            CoreConfig::mega_boom(),
+            &program,
+            TraceConfig::default(),
+        );
+        machine.write_mem(program.symbol_addr("secret"), &[secret]);
+        let result = machine.run(1_000_000)?;
+        iterations.extend(result.iterations);
+    }
+
+    // Analyze: per-unit association between secret bits and
+    // microarchitectural snapshots.
+    let report = analyze(&iterations);
+    println!("{report}");
+
+    if report.is_leaky() {
+        println!("LEAK DETECTED — correlated units:");
+        for unit in report.leaky_units() {
+            println!("  {:<12} {}", unit.unit.name(), unit.assoc);
+        }
+        // Root-cause: which PCs execute only for one class?
+        let uniq = feature_uniqueness(&iterations, UnitId::EuuAlu);
+        for (class, pcs) in &uniq.unique {
+            if !pcs.is_empty() {
+                println!(
+                    "  ALU PCs unique to bit={class}: {:x?}",
+                    pcs.iter().collect::<Vec<_>>()
+                );
+            }
+        }
+    } else {
+        println!("no leakage identified");
+    }
+    Ok(())
+}

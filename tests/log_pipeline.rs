@@ -1,0 +1,72 @@
+//! The paper's two-stage pipeline (simulate with trace logging, then parse
+//! the log) must agree exactly with the live in-memory path: identical
+//! iteration summaries, identical analysis verdicts.
+
+use microsampler_core::{analyze, parse_text_log, TraceConfig};
+use microsampler_kernels::inputs::random_keys;
+use microsampler_kernels::modexp::{ModexpKernel, ModexpVariant};
+use microsampler_sim::{CoreConfig, Machine};
+
+#[test]
+fn text_log_roundtrip_matches_live_traces() {
+    let kernel = ModexpKernel::new(ModexpVariant::V1CompilerVuln, 1);
+    let key = &random_keys(1, 1, 3)[0];
+    let program = kernel.program().unwrap();
+
+    let mut machine =
+        Machine::with_trace_config(CoreConfig::small_boom(), &program, TraceConfig::default());
+    machine.write_mem(program.symbol_addr("key"), key);
+    machine.enable_log();
+    let live = machine.run(5_000_000).unwrap();
+
+    let parsed =
+        parse_text_log(machine.log_text().unwrap(), TraceConfig::default()).unwrap();
+    assert_eq!(parsed, live.iterations, "parsed summaries must equal live summaries");
+}
+
+#[test]
+fn log_and_live_agree_on_the_verdict() {
+    let kernel = ModexpKernel::new(ModexpVariant::V1CompilerVuln, 2);
+    let program = kernel.program().unwrap();
+    let mut live_iters = Vec::new();
+    let mut parsed_iters = Vec::new();
+    for key in random_keys(4, 2, 17) {
+        let mut machine = Machine::with_trace_config(
+            CoreConfig::small_boom(),
+            &program,
+            TraceConfig::default(),
+        );
+        machine.write_mem(program.symbol_addr("key"), &key);
+        machine.enable_log();
+        let run = machine.run(5_000_000).unwrap();
+        parsed_iters
+            .extend(parse_text_log(machine.log_text().unwrap(), TraceConfig::default()).unwrap());
+        live_iters.extend(run.iterations);
+    }
+    let live_report = analyze(&live_iters);
+    let parsed_report = analyze(&parsed_iters);
+    assert_eq!(live_report, parsed_report);
+    assert!(live_report.is_leaky(), "ME-V1-CV leaks through either pipeline");
+}
+
+#[test]
+fn log_format_is_humanly_greppable() {
+    let kernel = ModexpKernel::new(ModexpVariant::V2Safe, 1);
+    let key = &random_keys(1, 1, 5)[0];
+    let program = kernel.program().unwrap();
+    let mut machine =
+        Machine::with_trace_config(CoreConfig::small_boom(), &program, TraceConfig::default());
+    machine.write_mem(program.symbol_addr("key"), key);
+    machine.enable_log();
+    machine.run(5_000_000).unwrap();
+    let log = machine.log_text().unwrap();
+    assert!(log.starts_with("# MicroSampler trace log v1"));
+    assert!(log.contains("M SCR_START"));
+    assert!(log.contains("M ITER_START"));
+    assert!(log.contains("C "));
+    assert!(log.contains("SQ-ADDR"));
+    // One cycle line per unit per sampled cycle: the 16 units appear.
+    for unit in microsampler_core::UnitId::ALL {
+        assert!(log.contains(unit.name()), "log missing unit {}", unit.name());
+    }
+}

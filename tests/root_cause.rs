@@ -1,0 +1,58 @@
+//! Root-cause extraction end-to-end: the paper's §VII-A2 claim that the
+//! class-unique store addresses of `ME-V1-MV` all trace back to
+//! instructions inside `memmove()`.
+
+use microsampler_core::{analyze, feature_uniqueness, map_features, TraceConfig, UnitId};
+use microsampler_kernels::inputs::random_keys;
+use microsampler_kernels::modexp::{ModexpKernel, ModexpVariant};
+use microsampler_sim::{CoreConfig, Machine};
+
+#[test]
+fn unique_store_addresses_map_back_to_memmove() {
+    let kernel = ModexpKernel::new(ModexpVariant::V1MicroarchVuln, 2);
+    let program = kernel.program().unwrap();
+    let memmove_start = program.symbol_addr("memmove");
+    let memmove_end = program.symbol_addr("mm_ret") + 4;
+
+    // Matrices are required for the address→PC mapping.
+    let trace_cfg = TraceConfig { keep_matrices: true, ..TraceConfig::default() };
+    let mut iterations = Vec::new();
+    for key in random_keys(4, 2, 77) {
+        let mut machine =
+            Machine::with_trace_config(CoreConfig::mega_boom(), &program, trace_cfg);
+        machine.write_mem(program.symbol_addr("key"), &key);
+        let run = machine.run(10_000_000).unwrap();
+        assert_eq!(run.exit_code, kernel.reference(&key));
+        iterations.extend(run.iterations);
+    }
+
+    // Step 1: the analysis flags SQ-ADDR.
+    let report = analyze(&iterations);
+    assert!(report.unit(UnitId::SqAddr).is_leaky(), "{report}");
+
+    // Step 2: feature uniqueness isolates per-class addresses.
+    let uniq = feature_uniqueness(&iterations, UnitId::SqAddr);
+    assert!(uniq.has_unique_features());
+
+    // Step 3: map the unique addresses back to producing instructions —
+    // every one must be a memmove store (the paper's finding).
+    let addr_to_pc =
+        map_features(&iterations, UnitId::SqAddr, UnitId::SqPc).expect("matrices kept");
+    let mut checked = 0;
+    for feats in uniq.unique.values() {
+        for addr in feats {
+            let pcs = addr_to_pc
+                .get(addr)
+                .unwrap_or_else(|| panic!("no producing PC recorded for {addr:#x}"));
+            for pc in pcs {
+                assert!(
+                    (memmove_start..memmove_end).contains(pc),
+                    "address {addr:#x} produced by {pc:#x}, outside memmove \
+                     [{memmove_start:#x}, {memmove_end:#x})"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "mapping should cover the unique addresses");
+}
