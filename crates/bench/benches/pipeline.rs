@@ -33,17 +33,10 @@ fn bench_experiments(c: &mut Criterion) {
 }
 
 fn bench_analysis_stages(c: &mut Criterion) {
-    let iterations = run_modexp_iterations(
-        ModexpVariant::V1CompilerVuln,
-        &CoreConfig::mega_boom(),
-        4,
-        2,
-        21,
-    );
+    let iterations =
+        run_modexp_iterations(ModexpVariant::V1CompilerVuln, &CoreConfig::mega_boom(), 4, 2, 21);
     let mut group = c.benchmark_group("analysis");
-    group.bench_function("correlate_16_units", |b| {
-        b.iter(|| analyze(black_box(&iterations)))
-    });
+    group.bench_function("correlate_16_units", |b| b.iter(|| analyze(black_box(&iterations))));
     group.bench_function("feature_uniqueness", |b| {
         b.iter(|| feature_uniqueness(black_box(&iterations), UnitId::SqAddr))
     });
@@ -55,8 +48,7 @@ fn bench_analysis_stages(c: &mut Criterion) {
 
 fn bench_log_parse(c: &mut Criterion) {
     // Structured-vs-text ablation: parsing cost of the log path.
-    let kernel =
-        microsampler_kernels::modexp::ModexpKernel::new(ModexpVariant::V1CompilerVuln, 1);
+    let kernel = microsampler_kernels::modexp::ModexpKernel::new(ModexpVariant::V1CompilerVuln, 1);
     let key = &microsampler_kernels::inputs::random_keys(1, 1, 5)[0];
     let program = kernel.program().expect("assembles");
     let mut machine = microsampler_sim::Machine::with_trace_config(

@@ -96,10 +96,9 @@ fn bench_fast_bypass(c: &mut Criterion) {
     let key = &random_keys(1, 2, 11)[0];
     let mut group = c.benchmark_group("fast_bypass");
     group.sample_size(10);
-    for (name, cfg) in [
-        ("off", CoreConfig::mega_boom()),
-        ("on", CoreConfig::mega_boom().with_fast_bypass()),
-    ] {
+    for (name, cfg) in
+        [("off", CoreConfig::mega_boom()), ("on", CoreConfig::mega_boom().with_fast_bypass())]
+    {
         group.bench_function(name, |b| {
             b.iter(|| kernel.run(cfg.clone(), key, TraceConfig::default()).expect("runs"))
         });

@@ -38,9 +38,8 @@ fn bench_contingency(c: &mut Criterion) {
 fn bench_chi2(c: &mut Criterion) {
     let mut group = c.benchmark_group("chi_squared");
     for &k in &[8usize, 64, 512] {
-        let rows: Vec<Vec<u64>> = (0..2)
-            .map(|r| (0..k).map(|j| ((r * 31 + j * 7) % 40 + 1) as u64).collect())
-            .collect();
+        let rows: Vec<Vec<u64>> =
+            (0..2).map(|r| (0..k).map(|j| ((r * 31 + j * 7) % 40 + 1) as u64).collect()).collect();
         group.bench_with_input(BenchmarkId::new("statistic", k), &rows, |b, rows| {
             b.iter(|| chi_squared(black_box(rows)))
         });

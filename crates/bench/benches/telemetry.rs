@@ -1,0 +1,64 @@
+//! Telemetry overhead: the ME-V1-MV pipeline (simulate → analyze) with the
+//! span layer and metrics registry enabled vs disabled. The disabled cases
+//! bound the cost of leaving instrumentation compiled into the hot path
+//! (one relaxed atomic load per site); the enabled cases bound the cost of
+//! actually collecting a run report.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use microsampler_bench::run_modexp_iterations;
+use microsampler_core::analyze;
+use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_obs::{metrics, span};
+use microsampler_sim::CoreConfig;
+
+fn pipeline() -> usize {
+    let iterations = run_modexp_iterations(
+        ModexpVariant::V1MicroarchVuln,
+        &CoreConfig::mega_boom(),
+        black_box(2),
+        black_box(1),
+        17,
+    );
+    let report = analyze(&iterations);
+    black_box(report.units.len())
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+
+    group.bench_function("pipeline_disabled", |b| {
+        span::set_enabled(false);
+        metrics::set_enabled(false);
+        b.iter(pipeline);
+    });
+
+    group.bench_function("pipeline_spans", |b| {
+        span::set_enabled(true);
+        metrics::set_enabled(false);
+        b.iter(|| {
+            let n = pipeline();
+            black_box(span::take());
+            n
+        });
+        span::set_enabled(false);
+    });
+
+    group.bench_function("pipeline_spans_and_metrics", |b| {
+        span::set_enabled(true);
+        metrics::set_enabled(true);
+        b.iter(|| {
+            let n = pipeline();
+            black_box(span::take());
+            n
+        });
+        span::set_enabled(false);
+        metrics::set_enabled(false);
+        metrics::reset();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

@@ -2,19 +2,52 @@
 //!
 //! ```text
 //! repro <experiment>... [--keys N] [--key-bytes N] [--reps N]
-//!                       [--trials N] [--seed N] [--full]
+//!                       [--trials N] [--seed N] [--full] [--json DIR]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
+//!
+//! With `--json DIR`, each experiment additionally writes
+//! `DIR/<experiment>.json`: a stable-schema run report carrying the
+//! experiment's structured result, the pipeline span tree, and the
+//! aggregated simulator metrics for the sweep. Set `MICROSAMPLER_PROGRESS=1`
+//! for trial-N-of-M heartbeats during long sweeps.
 
 use microsampler_bench::experiments as exp;
 use microsampler_bench::{print_cycle_histogram, print_v_chart, Scale};
+use microsampler_core::association_to_json;
+use microsampler_obs::{diag, diag_error, json, metrics, span, Value};
 use std::process::ExitCode;
 
+const EXPERIMENTS: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig10",
+    "sensitivity",
+];
+
 fn main() -> ExitCode {
+    // CLI errors must be visible even though library diagnostics default
+    // to silent; respect an explicit MICROSAMPLER_LOG if one is set.
+    if std::env::var_os("MICROSAMPLER_LOG").is_none() {
+        diag::set_max_level(Some(diag::Level::Error));
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::default();
     let mut wanted: Vec<String> = Vec::new();
+    let mut json_dir: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         let take_num = |i: &mut usize| -> usize {
@@ -30,6 +63,13 @@ fn main() -> ExitCode {
             "--trials" => scale.primitive_trials = take_num(&mut i),
             "--seed" => scale.seed = take_num(&mut i) as u64,
             "--full" => scale = Scale::full(),
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => json_dir = Some(dir.into()),
+                    None => fail("expected a directory after --json"),
+                }
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -43,51 +83,103 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
-    if scale.keys == 0 || scale.key_bytes == 0 || scale.memcmp_reps == 0
+    if scale.keys == 0
+        || scale.key_bytes == 0
+        || scale.memcmp_reps == 0
         || scale.primitive_trials == 0
     {
         fail("--keys, --key-bytes, --reps and --trials must be at least 1");
     }
     if wanted.iter().any(|w| w == "all") {
-        wanted = ["table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig2",
-            "fig3", "fig4", "fig5", "fig6", "fig7", "fig9", "fig10", "sensitivity"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    // Validate every id up front so a typo late in the list fails before
+    // hours of sweeps, not after.
+    for w in &wanted {
+        if !EXPERIMENTS.contains(&w.as_str()) {
+            fail(&format!("unknown experiment `{w}`"));
+        }
+    }
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            fail(&format!("cannot create --json directory {}: {e}", dir.display()));
+        }
     }
     for w in &wanted {
-        run(w, &scale);
+        if let Some(dir) = &json_dir {
+            span::set_enabled(true);
+            metrics::set_enabled(true);
+            span::take();
+            metrics::reset();
+            let result = run(w, &scale);
+            let spans = span::take();
+            let snapshot = metrics::snapshot();
+            span::set_enabled(false);
+            metrics::set_enabled(false);
+            let report = Value::object()
+                .field("schema", "microsampler-run-report-v1")
+                .field("experiment", w.as_str())
+                .field("scale", scale_to_json(&scale))
+                .field("result", result)
+                .field("spans", span::nodes_to_json(&spans))
+                .field("metrics", metrics::snapshot_to_json(&snapshot))
+                .build();
+            let path = dir.join(format!("{w}.json"));
+            if let Err(e) = std::fs::write(&path, report.render_pretty()) {
+                fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            println!("wrote {}", path.display());
+        } else {
+            run(w, &scale);
+        }
     }
     ExitCode::SUCCESS
 }
 
 fn fail(msg: &str) -> ! {
-    eprintln!("error: {msg}");
+    diag_error!("{msg}");
     usage();
     std::process::exit(2)
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] [--seed N] [--full]"
+        "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] \
+         [--seed N] [--full] [--json DIR]"
     );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
+    eprintln!("--json DIR writes a machine-readable run report per experiment");
 }
 
-fn run(which: &str, scale: &Scale) {
+fn scale_to_json(s: &Scale) -> Value {
+    Value::object()
+        .field("keys", s.keys)
+        .field("key_bytes", s.key_bytes)
+        .field("memcmp_reps", s.memcmp_reps)
+        .field("primitive_trials", s.primitive_trials)
+        .field("seed", s.seed)
+        .build()
+}
+
+/// Runs one experiment, prints its paper-style output, and returns the
+/// structured result for the `--json` run report.
+fn run(which: &str, scale: &Scale) -> Value {
     match which {
         "table1" => {
             println!("\n== Table I: leakage-detection tool comparison (qualitative) ==");
-            for row in exp::table1() {
+            let rows = exp::table1();
+            for row in &rows {
                 println!(
                     "{:<20} {:<26} {:<20} {:<10} {:<12}",
                     row[0], row[1], row[2], row[3], row[4]
                 );
             }
+            Value::Array(rows.iter().map(|row| Value::array(row.iter().copied())).collect())
         }
         "fig2" => {
             println!("\n== Fig 2: SQ-ADDR iteration snapshots (ME-V1-MV) ==");
-            for (label, rows) in exp::fig2(scale) {
+            let snapshots = exp::fig2(scale);
+            for (label, rows) in &snapshots {
                 println!(
                     "key bit = {label} ({} cycles total; empty-queue cycles elided):",
                     rows.len()
@@ -104,12 +196,27 @@ fn run(which: &str, scale: &Scale) {
                     println!("  cycle +{cycle:<3} | {}", cells.join(" "));
                 }
             }
+            Value::Array(
+                snapshots
+                    .iter()
+                    .map(|(label, rows)| {
+                        Value::object().field("label", *label).field("cycles", rows.len()).build()
+                    })
+                    .collect(),
+            )
         }
         "table2" => {
             println!("\n== Table II: contingency table for SQ-ADDR (SAM-CT-CMOV) ==");
             let t = exp::table2(scale);
             println!("{t}");
-            println!("{}", t.association());
+            let assoc = t.association();
+            println!("{assoc}");
+            Value::object()
+                .field("classes", t.class_count())
+                .field("categories", t.category_count())
+                .field("total", t.total())
+                .field("association", association_to_json(&assoc))
+                .build()
         }
         "table3" => {
             println!("\n== Table III: BOOM core configurations ==");
@@ -135,12 +242,15 @@ fn run(which: &str, scale: &Scale) {
                     c.prefetcher,
                 );
             }
+            Value::array([mega.name, small.name])
         }
         "table4" => {
             println!("\n== Table IV: tracked microarchitectural units ==");
-            for u in exp::table4() {
+            let units = exp::table4();
+            for u in &units {
                 println!("  {}", u.name());
             }
+            Value::array(units.iter().map(|u| u.name()))
         }
         "table5" => {
             println!("\n== Table V: OpenSSL constant-time primitives ==");
@@ -158,32 +268,51 @@ fn run(which: &str, scale: &Scale) {
             }
             let flagged = rows.iter().filter(|r| r.leak_identified).count();
             println!("flagged: {flagged}/27 (paper: 0/27; CRYPTO_memcmp — see fig10 — leaks)");
+            Value::Array(
+                rows.iter()
+                    .map(|r| {
+                        Value::object()
+                            .field("primitive", r.name.as_str())
+                            .field("functional_ok", r.functional_ok)
+                            .field("leak_identified", r.leak_identified)
+                            .field("max_v", r.max_v)
+                            .field("escalation_rounds", r.escalation_rounds)
+                            .build()
+                    })
+                    .collect(),
+            )
         }
         "table6" => {
             println!("\n== Table VI: MicroSampler stage breakdown (ME-V1-CV, MegaBoom) ==");
             let t = exp::table6(scale);
             print_table6(&t);
+            table6_to_json(&t)
         }
         "table7" => {
             println!("\n== Table VII: scalability vs XENON ==");
             let t = exp::table7(scale);
             println!("SmallBoom ({} entries): {:?}", t.small_size, t.small.total());
             println!("MegaBoom  ({} entries): {:?}", t.mega_size, t.mega.total());
-            println!(
-                "MicroSampler: {:.1}x size / {:.1}x time",
-                t.size_ratio(),
-                t.time_ratio()
-            );
+            println!("MicroSampler: {:.1}x size / {:.1}x time", t.size_ratio(), t.time_ratio());
             println!(
                 "XENON (reported): {:.0}x size / {:.0}x time (2.5s ALU -> 14min SCARV)",
                 exp::XENON_SIZE_RATIO,
                 exp::XENON_TIME_RATIO
             );
+            Value::object()
+                .field("small", table6_to_json(&t.small))
+                .field("mega", table6_to_json(&t.mega))
+                .field("small_size", t.small_size)
+                .field("mega_size", t.mega_size)
+                .field("size_ratio", t.size_ratio())
+                .field("time_ratio", t.time_ratio())
+                .build()
         }
         "fig3" => {
             let r = exp::fig3(scale);
             print_v_chart("Fig 3: ME-V1-CV Cramer's V per unit", &r.v_series());
             print_leaks(&r);
+            r.to_json()
         }
         "fig4" => {
             let r = exp::fig4(scale);
@@ -191,6 +320,10 @@ fn run(which: &str, scale: &Scale) {
             print_leaks(&r);
             let rp = exp::fig4_with_pressure(scale);
             print_v_chart("Fig 4 (with cache pressure): miss-path units light up", &rp.v_series());
+            Value::object()
+                .field("report", r.to_json())
+                .field("with_pressure", rp.to_json())
+                .build()
         }
         "fig5" => {
             println!("\n== Fig 5: SQ-ADDR feature uniqueness for ME-V1-MV ==");
@@ -203,6 +336,32 @@ fn run(which: &str, scale: &Scale) {
                 println!();
             }
             println!("shared addresses: {}", u.shared.len());
+            Value::object()
+                .field("unit", u.unit.name())
+                .field("shared", u.shared.len())
+                .field(
+                    "unique",
+                    Value::Array(
+                        u.unique
+                            .iter()
+                            .map(|(class, feats)| {
+                                Value::object()
+                                    .field("class", *class)
+                                    .field(
+                                        "addresses",
+                                        Value::Array(
+                                            feats
+                                                .iter()
+                                                .map(|f| format!("{f:#x}").into())
+                                                .collect(),
+                                        ),
+                                    )
+                                    .build()
+                            })
+                            .collect(),
+                    ),
+                )
+                .build()
         }
         "fig6" => {
             let f = exp::fig6(scale);
@@ -216,17 +375,26 @@ fn run(which: &str, scale: &Scale) {
                 &f.warm.0,
                 &f.warm.1,
             );
+            let classes = |pair: &(Vec<u64>, Vec<u64>)| {
+                Value::object()
+                    .field("bit0_cycles", Value::array(pair.0.iter().copied()))
+                    .field("bit1_cycles", Value::array(pair.1.iter().copied()))
+                    .build()
+            };
+            Value::object().field("cold", classes(&f.cold)).field("warm", classes(&f.warm)).build()
         }
         "fig7" => {
             let r = exp::fig7(scale);
             print_v_chart("Fig 7: ME-V2-Safe Cramer's V per unit", &r.v_series());
             print_leaks(&r);
+            r.to_json()
         }
         "fig9" => {
             let r = exp::fig9(scale);
             print_v_chart("Fig 9: ME-V2-FB (fast bypass) with timing", &r.v_series());
             print_v_chart("Fig 9: ME-V2-FB timing removed", &r.v_series_timeless());
             print_leaks(&r);
+            r.to_json()
         }
         "sensitivity" => {
             println!("\n== Sensitivity: verdicts vs sample size (§VII-D) ==");
@@ -234,7 +402,8 @@ fn run(which: &str, scale: &Scale) {
                 "{:>5} {:>6} | {:>9} {:>8} | {:>8} {:>7} {:>10}",
                 "keys", "iters", "leaky maxV", "flagged", "safe maxV", "flagged", "needs more"
             );
-            for p in exp::sensitivity(scale) {
+            let points = exp::sensitivity(scale);
+            for p in &points {
                 println!(
                     "{:>5} {:>6} | {:>10.3} {:>8} | {:>9.3} {:>7} {:>10}",
                     p.keys,
@@ -246,6 +415,22 @@ fn run(which: &str, scale: &Scale) {
                     p.safe_needs_more,
                 );
             }
+            Value::Array(
+                points
+                    .iter()
+                    .map(|p| {
+                        Value::object()
+                            .field("keys", p.keys)
+                            .field("iterations", p.iterations)
+                            .field("leaky_max_v", p.leaky_max_v)
+                            .field("leaky_flagged", p.leaky_flagged)
+                            .field("safe_max_v", p.safe_max_v)
+                            .field("safe_false_positive", p.safe_false_positive)
+                            .field("safe_needs_more", p.safe_needs_more)
+                            .build()
+                    })
+                    .collect(),
+            )
         }
         "fig10" => {
             let f = exp::fig10(scale);
@@ -258,6 +443,21 @@ fn run(which: &str, scale: &Scale) {
                 "mispredicts={} ROB-PC ordering mismatches={} leak identified: {}",
                 f.mispredicts, f.ordering_mismatches, f.leak_identified
             );
+            Value::object()
+                .field("leak_identified", f.leak_identified)
+                .field(
+                    "patterns",
+                    Value::object()
+                        .field("inequal_only", f.patterns.inequal_only)
+                        .field("both", f.patterns.both)
+                        .field("equal_only", f.patterns.equal_only)
+                        .field("neither", f.patterns.neither)
+                        .build(),
+                )
+                .field("mispredicts", f.mispredicts)
+                .field("ordering_mismatches", f.ordering_mismatches)
+                .field("report", f.report.to_json())
+                .build()
         }
         other => fail(&format!("unknown experiment `{other}`")),
     }
@@ -275,4 +475,22 @@ fn print_table6(t: &exp::Table6) {
     println!("4- feature extraction              {:>10.2?}", t.extract);
     println!("total                              {:>10.2?}", t.total());
     println!("({} iterations, {} simulated cycles)", t.iterations, t.cycles);
+}
+
+/// Table VI as JSON. Stage keys are ordered exactly like the printed
+/// breakdown (and like the children of the `table6` span this struct was
+/// derived from).
+fn table6_to_json(t: &exp::Table6) -> Value {
+    let stages = json::Value::object()
+        .field("simulate_ns", t.simulate.as_nanos() as u64)
+        .field("parse_ns", t.parse.as_nanos() as u64)
+        .field("correlate_ns", t.correlate.as_nanos() as u64)
+        .field("extract_ns", t.extract.as_nanos() as u64)
+        .build();
+    Value::object()
+        .field("stages", stages)
+        .field("total_ns", t.total().as_nanos() as u64)
+        .field("iterations", t.iterations)
+        .field("cycles", t.cycles)
+        .build()
 }

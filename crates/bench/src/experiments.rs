@@ -10,9 +10,10 @@ use microsampler_kernels::inputs::{memcmp_pairs, memcmp_schedule};
 use microsampler_kernels::memcmp::MemcmpKernel;
 use microsampler_kernels::modexp::{Fig6Kernel, ModexpKernel, ModexpVariant};
 use microsampler_kernels::openssl::Primitive;
+use microsampler_obs::{diag, span};
 use microsampler_sim::{parse_text_log, CoreConfig, TraceConfig, UnitId};
 use microsampler_stats::ContingencyTable;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Table I is the paper's qualitative tool-comparison table; returned as
 /// preformatted rows for the `repro` binary.
@@ -32,9 +33,7 @@ pub fn table1() -> Vec<[&'static str; 5]> {
 /// of each key-bit class, from a live `ME-V1-MV` run.
 pub fn fig2(scale: &Scale) -> Vec<(u64, Vec<Vec<u64>>)> {
     let kernel = ModexpKernel::new(ModexpVariant::V1MicroarchVuln, 1);
-    let key = microsampler_kernels::inputs::random_keys(1, 1, scale.seed)
-        .pop()
-        .expect("one key");
+    let key = microsampler_kernels::inputs::random_keys(1, 1, scale.seed).pop().expect("one key");
     let trace = TraceConfig { keep_matrices: true, ..TraceConfig::default() };
     let mut machine = kernel.machine(CoreConfig::mega_boom(), &key, trace).expect("assembles");
     let result = machine.run(10_000_000).expect("runs");
@@ -94,9 +93,13 @@ pub struct Table5Row {
 /// p-value resolves the verdict.
 pub fn table5(scale: &Scale) -> Vec<Table5Row> {
     let analyzer = Analyzer::new();
-    Primitive::all()
+    let primitives = Primitive::all();
+    let total = primitives.len();
+    primitives
         .into_iter()
-        .map(|prim| {
+        .enumerate()
+        .map(|(idx, prim)| {
+            diag::progress("table5", idx + 1, total);
             let first = prim
                 .run(
                     CoreConfig::mega_boom(),
@@ -106,28 +109,20 @@ pub fn table5(scale: &Scale) -> Vec<Table5Row> {
                 )
                 .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
             let mut functional_ok = first.functional_ok;
-            let outcome = analyzer.analyze_with_escalation(
-                first.result.iterations,
-                4,
-                |round| {
-                    let extra = prim
-                        .run(
-                            CoreConfig::mega_boom(),
-                            scale.primitive_trials * 2,
-                            scale.seed + round as u64 * 7919,
-                            TraceConfig::default(),
-                        )
-                        .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
-                    functional_ok &= extra.functional_ok;
-                    extra.result.iterations
-                },
-            );
-            let max_v = outcome
-                .report
-                .units
-                .iter()
-                .map(|u| u.assoc.cramers_v)
-                .fold(0.0f64, f64::max);
+            let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
+                let extra = prim
+                    .run(
+                        CoreConfig::mega_boom(),
+                        scale.primitive_trials * 2,
+                        scale.seed + round as u64 * 7919,
+                        TraceConfig::default(),
+                    )
+                    .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+                functional_ok &= extra.functional_ok;
+                extra.result.iterations
+            });
+            let max_v =
+                outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
             Table5Row {
                 name: prim.name.to_owned(),
                 leak_identified: outcome.report.is_leaky(),
@@ -167,46 +162,68 @@ impl Table6 {
 
 /// Runs the Table VI breakdown for `config` at the given scale
 /// (ME-V1-CV workload, like the paper).
+///
+/// The stage durations are *not* measured with ad-hoc stopwatches: the
+/// pipeline's own span instrumentation (`simulate` in `Machine::run`,
+/// `parse` in `parse_text_log`, `correlate` in `Analyzer::analyze`,
+/// `extract` in the feature extractors) is enabled for the duration and
+/// the table is read back out of the span tree — so Table VI doubles as
+/// an end-to-end check of the telemetry layer. Spans an enclosing
+/// collector already completed are parked and merged back; do not call
+/// this inside a still-open span.
 pub fn table6_for(config: &CoreConfig, scale: &Scale) -> Table6 {
+    let was_enabled = span::enabled();
+    span::set_enabled(true);
+    let parked = span::take();
+
     let kernel = ModexpKernel::new(ModexpVariant::V1CompilerVuln, scale.key_bytes);
-    let keys = microsampler_kernels::inputs::random_keys(
-        scale.keys.min(4),
-        scale.key_bytes,
-        scale.seed,
-    );
-    // Stage 1: simulate with text-log emission (the paper's printf trace).
-    let t0 = Instant::now();
-    let mut logs = Vec::new();
+    let keys =
+        microsampler_kernels::inputs::random_keys(scale.keys.min(4), scale.key_bytes, scale.seed);
     let mut cycles = 0;
-    for key in &keys {
-        let mut machine = kernel
-            .machine(config.clone(), key, TraceConfig::default())
-            .expect("kernel assembles");
-        machine.enable_log();
-        let run = machine.run(200_000_000).expect("simulation completes");
-        cycles += run.cycles;
-        logs.push(machine.log_text().expect("log enabled").to_owned());
+    let iterations = {
+        let _root = span::span("table6");
+        // Stage 1: simulate with text-log emission (the paper's printf
+        // trace); `Machine::run` attributes this under "simulate".
+        let mut logs = Vec::new();
+        for key in &keys {
+            let mut machine = kernel
+                .machine(config.clone(), key, TraceConfig::default())
+                .expect("kernel assembles");
+            machine.enable_log();
+            let run = machine.run(200_000_000).expect("simulation completes");
+            cycles += run.cycles;
+            logs.push(machine.log_text().expect("log enabled").to_owned());
+        }
+        // Stage 2: parse logs into iteration snapshots ("parse").
+        let mut iterations = Vec::new();
+        for log in &logs {
+            iterations.extend(parse_text_log(log, TraceConfig::default()).expect("log parses"));
+        }
+        // Stage 3: correlation analysis ("correlate").
+        let report = analyze(&iterations);
+        // Stage 4: feature extraction for flagged units ("extract").
+        for u in report.leaky_units() {
+            let _ = feature_uniqueness(&iterations, u.unit);
+            let _ = feature_ordering(&iterations, u.unit);
+        }
+        iterations
+    };
+
+    let tree = span::take();
+    span::merge(parked);
+    span::merge(tree.clone());
+    span::set_enabled(was_enabled);
+
+    let root = span::find(&tree, "table6").expect("table6 root span recorded");
+    let stage = |name: &str| root.child(name).map_or(Duration::ZERO, |n| n.total);
+    Table6 {
+        simulate: stage("simulate"),
+        parse: stage("parse"),
+        correlate: stage("correlate"),
+        extract: stage("extract"),
+        iterations: iterations.len(),
+        cycles,
     }
-    let simulate = t0.elapsed();
-    // Stage 2: parse logs into iteration snapshots.
-    let t0 = Instant::now();
-    let mut iterations = Vec::new();
-    for log in &logs {
-        iterations.extend(parse_text_log(log, TraceConfig::default()).expect("log parses"));
-    }
-    let parse = t0.elapsed();
-    // Stage 3: correlation analysis.
-    let t0 = Instant::now();
-    let report = analyze(&iterations);
-    let correlate = t0.elapsed();
-    // Stage 4: feature extraction for flagged units.
-    let t0 = Instant::now();
-    for u in report.leaky_units() {
-        let _ = feature_uniqueness(&iterations, u.unit);
-        let _ = feature_ordering(&iterations, u.unit);
-    }
-    let extract = t0.elapsed();
-    Table6 { simulate, parse, correlate, extract, iterations: iterations.len(), cycles }
 }
 
 /// Table VI at the default scale on MegaBoom.
@@ -320,11 +337,8 @@ fn split_cycles(iters: &[microsampler_sim::IterationTrace]) -> (Vec<u64>, Vec<u6
 
 /// Runs Fig. 6 (both sub-figures).
 pub fn fig6(scale: &Scale) -> Fig6 {
-    let keys = microsampler_kernels::inputs::random_keys(
-        scale.keys.min(4),
-        scale.key_bytes,
-        scale.seed,
-    );
+    let keys =
+        microsampler_kernels::inputs::random_keys(scale.keys.min(4), scale.key_bytes, scale.seed);
     let run = |warm: bool| {
         let kernel = Fig6Kernel::new(warm, scale.key_bytes);
         let mut iters = Vec::new();
@@ -461,12 +475,14 @@ pub struct SensitivityPoint {
 /// the p-value guard withholds the flag; the leaky kernel's verdict locks
 /// in quickly and stays.
 pub fn sensitivity(scale: &Scale) -> Vec<SensitivityPoint> {
-    let max_v = |r: &AnalysisReport| {
-        r.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max)
-    };
-    [1usize, 2, 4, 8, 16]
+    let max_v =
+        |r: &AnalysisReport| r.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
+    let sweep = [1usize, 2, 4, 8, 16];
+    sweep
         .iter()
-        .map(|&keys| {
+        .enumerate()
+        .map(|(idx, &keys)| {
+            diag::progress("sensitivity", idx + 1, sweep.len());
             let leaky = modexp_report(
                 ModexpVariant::V1CompilerVuln,
                 &CoreConfig::mega_boom(),
@@ -498,11 +514,8 @@ pub fn sensitivity(scale: &Scale) -> Vec<SensitivityPoint> {
 /// buffers). With per-iteration eviction the miss-path units (LFB, NLP,
 /// MSHR, TLB) light up as in the paper's full-scale run.
 pub fn fig4_with_pressure(scale: &Scale) -> AnalysisReport {
-    let keys = microsampler_kernels::inputs::random_keys(
-        scale.keys.min(4),
-        scale.key_bytes,
-        scale.seed,
-    );
+    let keys =
+        microsampler_kernels::inputs::random_keys(scale.keys.min(4), scale.key_bytes, scale.seed);
     let kernel = Fig6Kernel::new(false, scale.key_bytes);
     let mut iters = Vec::new();
     for key in &keys {

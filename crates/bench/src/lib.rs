@@ -59,11 +59,12 @@ pub fn run_modexp_iterations(
 ) -> Vec<IterationTrace> {
     let kernel = ModexpKernel::new(variant, key_bytes);
     let mut iterations = Vec::new();
-    for key in random_keys(n_keys, key_bytes, seed) {
+    for (idx, key) in random_keys(n_keys, key_bytes, seed).iter().enumerate() {
+        microsampler_obs::diag::progress(variant.name(), idx + 1, n_keys);
         let run = kernel
-            .run(config.clone(), &key, TraceConfig::default())
+            .run(config.clone(), key, TraceConfig::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", variant.name()));
-        assert_eq!(run.exit_code, kernel.reference(&key), "{} functional check", variant.name());
+        assert_eq!(run.exit_code, kernel.reference(key), "{} functional check", variant.name());
         iterations.extend(run.iterations);
     }
     iterations

@@ -30,6 +30,7 @@ impl Analyzer {
         unit: UnitId,
         timeless: bool,
     ) -> ContingencyTable<u64, u64> {
+        let _span = microsampler_obs::span::span("contingency");
         let mut table = ContingencyTable::new();
         for it in iterations {
             let u = it.unit(unit);
@@ -40,6 +41,7 @@ impl Analyzer {
 
     /// Analyzes all sixteen tracked units.
     pub fn analyze(&self, iterations: &[IterationTrace]) -> AnalysisReport {
+        let _span = microsampler_obs::span::span("correlate");
         let classes: BTreeSet<u64> = iterations.iter().map(|i| i.label).collect();
         let units = UnitId::ALL
             .iter()
@@ -68,6 +70,10 @@ impl Analyzer {
         let mut rounds = 0;
         while report.needs_more_samples() && rounds < max_rounds {
             rounds += 1;
+            microsampler_obs::diag_info!(
+                "escalating: round {rounds}/{max_rounds}, {} iterations so far",
+                iterations.len()
+            );
             let batch = more(rounds);
             if batch.is_empty() {
                 break;
@@ -88,6 +94,19 @@ pub struct EscalationOutcome {
     pub rounds: usize,
     /// Total iterations analyzed.
     pub total_iterations: usize,
+}
+
+impl EscalationOutcome {
+    /// Renders the outcome as a JSON value (stable schema: `rounds`,
+    /// `total_iterations`, `report` as
+    /// [`AnalysisReport::to_json`]).
+    pub fn to_json(&self) -> microsampler_obs::Value {
+        microsampler_obs::Value::object()
+            .field("rounds", self.rounds)
+            .field("total_iterations", self.total_iterations)
+            .field("report", self.report.to_json())
+            .build()
+    }
 }
 
 /// One-call analysis with the default analyzer.
@@ -167,11 +186,10 @@ mod tests {
     #[test]
     fn escalation_until_significant() {
         let analyzer = Analyzer::new();
-        let outcome = analyzer.analyze_with_escalation(
-            synthetic(1, Some(UnitId::LqAddr)),
-            10,
-            |_round| synthetic(4, Some(UnitId::LqAddr)),
-        );
+        let outcome =
+            analyzer.analyze_with_escalation(synthetic(1, Some(UnitId::LqAddr)), 10, |_round| {
+                synthetic(4, Some(UnitId::LqAddr))
+            });
         assert!(outcome.rounds >= 1, "escalation should have been needed");
         assert!(outcome.report.unit(UnitId::LqAddr).is_leaky());
         assert!(!outcome.report.needs_more_samples());
@@ -182,11 +200,10 @@ mod tests {
     fn escalation_gives_up_after_max_rounds() {
         let analyzer = Analyzer::new();
         // Every batch is 1-per-class: p stays weak; stops at max_rounds.
-        let outcome = analyzer.analyze_with_escalation(
-            synthetic(1, Some(UnitId::SqPc)),
-            3,
-            |_round| synthetic(0, Some(UnitId::SqPc)),
-        );
+        let outcome =
+            analyzer.analyze_with_escalation(synthetic(1, Some(UnitId::SqPc)), 3, |_round| {
+                synthetic(0, Some(UnitId::SqPc))
+            });
         assert!(outcome.rounds <= 3);
     }
 

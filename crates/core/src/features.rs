@@ -40,6 +40,8 @@ impl UniquenessReport {
 
 /// Extracts feature uniqueness for `unit` (paper §V-C3 criterion 1).
 pub fn feature_uniqueness(iterations: &[IterationTrace], unit: UnitId) -> UniquenessReport {
+    let _stage = microsampler_obs::span::span("extract");
+    let _span = microsampler_obs::span::span("uniqueness");
     let mut class_features: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
     for it in iterations {
         class_features.entry(it.label).or_default().extend(&it.unit(unit).features);
@@ -109,14 +111,12 @@ impl OrderingReport {
 /// of features common to both orders that appears in opposite relative
 /// order is reported.
 pub fn feature_ordering(iterations: &[IterationTrace], unit: UnitId) -> OrderingReport {
+    let _stage = microsampler_obs::span::span("extract");
+    let _span = microsampler_obs::span::span("ordering");
     // Dominant order signature per class.
     let mut counts: BTreeMap<u64, BTreeMap<Vec<u64>, usize>> = BTreeMap::new();
     for it in iterations {
-        *counts
-            .entry(it.label)
-            .or_default()
-            .entry(it.unit(unit).order.clone())
-            .or_insert(0) += 1;
+        *counts.entry(it.label).or_default().entry(it.unit(unit).order.clone()).or_insert(0) += 1;
     }
     let class_orders: BTreeMap<u64, Vec<u64>> = counts
         .into_iter()
@@ -139,10 +139,8 @@ pub fn feature_ordering(iterations: &[IterationTrace], unit: UnitId) -> Ordering
             let pos_b: BTreeMap<u64, usize> =
                 order_b.iter().enumerate().map(|(p, &f)| (f, p)).collect();
             // Common features in class-a order.
-            let common: Vec<(u64, usize)> = order_a
-                .iter()
-                .filter_map(|f| pos_b.get(f).map(|&p| (*f, p)))
-                .collect();
+            let common: Vec<(u64, usize)> =
+                order_a.iter().filter_map(|f| pos_b.get(f).map(|&p| (*f, p))).collect();
             for (x, (fx, px)) in common.iter().enumerate() {
                 for (fy, py) in &common[x + 1..] {
                     // fx precedes fy in class a; if fy precedes fx in b,
@@ -174,6 +172,8 @@ pub fn map_features(
     value_unit: UnitId,
     key_unit: UnitId,
 ) -> Option<BTreeMap<u64, BTreeSet<u64>>> {
+    let _stage = microsampler_obs::span::span("extract");
+    let _span = microsampler_obs::span::span("map");
     let mut map: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
     for it in iterations {
         let values = it.unit(value_unit).rows.as_ref()?;
@@ -230,10 +230,7 @@ mod tests {
     fn uniqueness_separates_classes() {
         // Class 0 touches 0xA00 and 0xC00; class 1 touches 0xB00 and 0xC00.
         let iters = traces(
-            &[
-                (0, vec![vec![0xA00, 0], vec![0xC00, 0]]),
-                (1, vec![vec![0xB00, 0], vec![0xC00, 0]]),
-            ],
+            &[(0, vec![vec![0xA00, 0], vec![0xC00, 0]]), (1, vec![vec![0xB00, 0], vec![0xC00, 0]])],
             3,
         );
         let r = feature_uniqueness(&iters, UnitId::SqAddr);
@@ -246,10 +243,7 @@ mod tests {
 
     #[test]
     fn no_uniqueness_when_classes_identical() {
-        let iters = traces(
-            &[(0, vec![vec![0xA00, 0xB00]]), (1, vec![vec![0xA00, 0xB00]])],
-            2,
-        );
+        let iters = traces(&[(0, vec![vec![0xA00, 0xB00]]), (1, vec![vec![0xA00, 0xB00]])], 2);
         let r = feature_uniqueness(&iters, UnitId::SqAddr);
         assert!(!r.has_unique_features());
         assert_eq!(r.shared, [0xA00, 0xB00].into());
@@ -259,10 +253,7 @@ mod tests {
     fn ordering_mismatch_detected() {
         // Same features, opposite order per class.
         let iters = traces(
-            &[
-                (0, vec![vec![0x111, 0], vec![0x222, 0]]),
-                (1, vec![vec![0x222, 0], vec![0x111, 0]]),
-            ],
+            &[(0, vec![vec![0x111, 0], vec![0x222, 0]]), (1, vec![vec![0x222, 0], vec![0x111, 0]])],
             4,
         );
         let uniq = feature_uniqueness(&iters, UnitId::SqAddr);
@@ -276,10 +267,7 @@ mod tests {
     #[test]
     fn consistent_order_is_clean() {
         let iters = traces(
-            &[
-                (0, vec![vec![0x111, 0], vec![0x222, 0]]),
-                (1, vec![vec![0x111, 0], vec![0x222, 0]]),
-            ],
+            &[(0, vec![vec![0x111, 0], vec![0x222, 0]]), (1, vec![vec![0x111, 0], vec![0x222, 0]])],
             4,
         );
         let ord = feature_ordering(&iters, UnitId::SqAddr);
@@ -290,10 +278,8 @@ mod tests {
     #[test]
     fn dominant_order_wins_over_noise() {
         // Class 1 mostly orders (B, A) but one noisy iteration is (A, B).
-        let mut rows = vec![
-            (0, vec![vec![0xA, 0], vec![0xB, 0]]),
-            (1, vec![vec![0xB, 0], vec![0xA, 0]]),
-        ];
+        let mut rows =
+            vec![(0, vec![vec![0xA, 0], vec![0xB, 0]]), (1, vec![vec![0xB, 0], vec![0xA, 0]])];
         let mut iters = traces(&rows, 5);
         rows[1] = (1, vec![vec![0xA, 0], vec![0xB, 0]]);
         iters.extend(traces(&rows, 1).into_iter().filter(|i| i.label == 1));
@@ -304,8 +290,7 @@ mod tests {
 
     #[test]
     fn map_features_pairs_slots_positionally() {
-        let mut tracer =
-            Tracer::new(TraceConfig { keep_matrices: true, ..TraceConfig::default() });
+        let mut tracer = Tracer::new(TraceConfig { keep_matrices: true, ..TraceConfig::default() });
         tracer.scr_start(0);
         tracer.iter_start(0, 0);
         tracer.begin_cycle(1);
@@ -341,11 +326,7 @@ mod tests {
     #[test]
     fn three_classes_pairwise() {
         let iters = traces(
-            &[
-                (0, vec![vec![0x1, 0x2]]),
-                (1, vec![vec![0x1, 0x2]]),
-                (2, vec![vec![0x2, 0x1]]),
-            ],
+            &[(0, vec![vec![0x1, 0x2]]), (1, vec![vec![0x1, 0x2]]), (2, vec![vec![0x2, 0x1]])],
             3,
         );
         let ord = feature_ordering(&iters, UnitId::SqAddr);

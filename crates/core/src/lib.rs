@@ -48,7 +48,7 @@ pub use features::{
     feature_ordering, feature_uniqueness, map_features, OrderMismatch, OrderingReport,
     UniquenessReport,
 };
-pub use report::{AnalysisReport, UnitReport};
+pub use report::{association_to_json, AnalysisReport, UnitReport};
 
 // Re-exported so downstream users need only this crate for the common path.
 pub use microsampler_sim::{parse_text_log, IterationTrace, TraceConfig, UnitId};

@@ -1,6 +1,23 @@
+use microsampler_obs::Value;
 use microsampler_sim::UnitId;
 use microsampler_stats::Association;
 use std::fmt;
+
+/// Renders an [`Association`] as a JSON value (stable schema used by both
+/// report variants and by `repro --json` for bare contingency tables).
+pub fn association_to_json(a: &Association) -> Value {
+    Value::object()
+        .field("chi2", a.chi2)
+        .field("dof", a.dof)
+        .field("p_value", a.p_value)
+        .field("cramers_v", a.cramers_v)
+        .field("cramers_v_corrected", a.cramers_v_corrected)
+        .field("n", a.n)
+        .field("classes", a.classes)
+        .field("categories", a.categories)
+        .field("significant", a.is_significant())
+        .build()
+}
 
 /// Per-unit analysis result: association with and without timing
 /// information (the paper's Fig. 9 distinction).
@@ -26,6 +43,18 @@ impl UnitReport {
     /// in *what* happened, not just *when*.
     pub fn is_leaky_without_timing(&self) -> bool {
         self.assoc_timeless.is_leak()
+    }
+
+    /// Renders this unit's result as a JSON value (stable schema: `unit`,
+    /// `leaky`, `leaky_without_timing`, `assoc`, `assoc_timeless`).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .field("unit", self.unit.name())
+            .field("leaky", self.is_leaky())
+            .field("leaky_without_timing", self.is_leaky_without_timing())
+            .field("assoc", association_to_json(&self.assoc))
+            .field("assoc_timeless", association_to_json(&self.assoc_timeless))
+            .build()
     }
 }
 
@@ -78,6 +107,19 @@ impl AnalysisReport {
     /// bars).
     pub fn v_series_timeless(&self) -> Vec<(&'static str, f64)> {
         self.units.iter().map(|u| (u.unit.name(), u.assoc_timeless.cramers_v)).collect()
+    }
+
+    /// Renders the report as a JSON value (stable schema: `iterations`,
+    /// `classes`, `leaky`, `needs_more_samples`, `units` in canonical
+    /// order).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .field("iterations", self.iterations)
+            .field("classes", self.classes)
+            .field("leaky", self.is_leaky())
+            .field("needs_more_samples", self.needs_more_samples())
+            .field("units", Value::Array(self.units.iter().map(UnitReport::to_json).collect()))
+            .build()
     }
 }
 
@@ -159,6 +201,48 @@ mod tests {
             assert!(s.contains(u.name()), "missing {}", u.name());
         }
         assert!(s.contains("LEAK"));
+    }
+
+    /// Golden schema: downstream tooling reads these exact key paths out
+    /// of `repro --json` artifacts; changing them is a breaking change to
+    /// the run-report format.
+    #[test]
+    fn json_schema_is_stable() {
+        let r = report_with(0.9, 0.001);
+        let v = r.to_json();
+        assert_eq!(v.get("iterations").unwrap().as_u64(), Some(10));
+        assert_eq!(v.get("classes").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("leaky").unwrap(), &microsampler_obs::Value::Bool(true));
+        assert_eq!(v.get("needs_more_samples").unwrap(), &microsampler_obs::Value::Bool(false));
+        let units = v.get("units").unwrap().as_array().unwrap();
+        assert_eq!(units.len(), 16);
+        let first = &units[0];
+        assert_eq!(first.get("unit").unwrap().as_str(), Some("SQ-ADDR"));
+        assert_eq!(first.get("leaky").unwrap(), &microsampler_obs::Value::Bool(true));
+        assert!(first.get("leaky_without_timing").is_some());
+        for key in ["assoc", "assoc_timeless"] {
+            let assoc = first.get(key).unwrap();
+            for field in [
+                "chi2",
+                "dof",
+                "p_value",
+                "cramers_v",
+                "cramers_v_corrected",
+                "n",
+                "classes",
+                "categories",
+                "significant",
+            ] {
+                assert!(assoc.get(field).is_some(), "{key}.{field} missing");
+            }
+        }
+        assert!(
+            (first.get("assoc").unwrap().get("cramers_v").unwrap().as_f64().unwrap() - 0.9).abs()
+                < 1e-12
+        );
+        // The rendered document must round-trip through the parser.
+        let text = v.render_pretty();
+        assert_eq!(microsampler_obs::json::parse(&text).unwrap(), v);
     }
 
     #[test]

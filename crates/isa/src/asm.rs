@@ -48,12 +48,26 @@ impl std::error::Error for AsmError {}
 #[derive(Clone, Debug)]
 enum Pending {
     Ready(Inst),
-    Branch { op: BranchOp, rs1: Reg, rs2: Reg, target: String },
-    Jal { rd: Reg, target: String },
+    Branch {
+        op: BranchOp,
+        rs1: Reg,
+        rs2: Reg,
+        target: String,
+    },
+    Jal {
+        rd: Reg,
+        target: String,
+    },
     /// `auipc` half of `la`; the matching `addi` follows immediately.
-    LaHi { rd: Reg, target: String },
+    LaHi {
+        rd: Reg,
+        target: String,
+    },
     /// `addi` half of `la`; anchored at own pc minus 4.
-    LaLo { rd: Reg, target: String },
+    LaLo {
+        rd: Reg,
+        target: String,
+    },
 }
 
 struct Assembler<'a> {
@@ -227,11 +241,8 @@ impl<'a> Assembler<'a> {
             Some(pos) => (&line[..pos], line[pos..].trim()),
             None => (line, ""),
         };
-        let ops: Vec<&str> = if rest.is_empty() {
-            Vec::new()
-        } else {
-            rest.split(',').map(str::trim).collect()
-        };
+        let ops: Vec<&str> =
+            if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
         let pendings = self.lower(mnemonic, &ops, line_no)?;
         for p in pendings {
             self.text.push((p, line_no));
@@ -263,7 +274,13 @@ impl<'a> Assembler<'a> {
         Ok((off, reg))
     }
 
-    fn expect_ops(&self, ops: &[&str], n: usize, mnemonic: &str, line_no: u32) -> Result<(), AsmError> {
+    fn expect_ops(
+        &self,
+        ops: &[&str],
+        n: usize,
+        mnemonic: &str,
+        line_no: u32,
+    ) -> Result<(), AsmError> {
         if ops.len() != n {
             return Err(AsmError::new(
                 line_no,
@@ -532,11 +549,7 @@ impl<'a> Assembler<'a> {
         }
         self.program.text = words.iter().flat_map(|w| w.to_le_bytes()).collect();
         self.program.data = self.data;
-        self.program.entry = self
-            .program
-            .symbol("_start")
-            .map(|s| s.addr)
-            .unwrap_or(TEXT_BASE);
+        self.program.entry = self.program.symbol("_start").map(|s| s.addr).unwrap_or(TEXT_BASE);
         Ok(self.program)
     }
 }
@@ -723,7 +736,10 @@ mod tests {
     fn backward_and_forward_branches() {
         let p = assemble("top: beqz a0, done\n addi a0, a0, -1\n j top\n done: ecall\n").unwrap();
         let is = insts(&p);
-        assert_eq!(is[0], Inst::Branch { op: BranchOp::Beq, rs1: Reg::new(10), rs2: Reg::ZERO, offset: 12 });
+        assert_eq!(
+            is[0],
+            Inst::Branch { op: BranchOp::Beq, rs1: Reg::new(10), rs2: Reg::ZERO, offset: 12 }
+        );
         assert_eq!(is[2], Inst::Jal { rd: Reg::ZERO, offset: -8 });
     }
 
@@ -800,7 +816,10 @@ mod tests {
     fn equ_constants() {
         let p = assemble(".equ N, 12\nli a0, N\naddi a0, a0, N\n").unwrap();
         let is = insts(&p);
-        assert_eq!(is[0], Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::ZERO, imm: 12 });
+        assert_eq!(
+            is[0],
+            Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::ZERO, imm: 12 }
+        );
     }
 
     #[test]
@@ -839,8 +858,14 @@ mod tests {
     fn csr_markers() {
         let p = assemble("csrw 0x8c2, a0\ncsrr a1, 0x8c2\n").unwrap();
         let is = insts(&p);
-        assert_eq!(is[0], Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::new(10), csr: 0x8C2 });
-        assert_eq!(is[1], Inst::Csr { op: CsrOp::Rs, rd: Reg::new(11), rs1: Reg::ZERO, csr: 0x8C2 });
+        assert_eq!(
+            is[0],
+            Inst::Csr { op: CsrOp::Rw, rd: Reg::ZERO, rs1: Reg::new(10), csr: 0x8C2 }
+        );
+        assert_eq!(
+            is[1],
+            Inst::Csr { op: CsrOp::Rs, rd: Reg::new(11), rs1: Reg::ZERO, csr: 0x8C2 }
+        );
     }
 
     #[test]
@@ -872,8 +897,14 @@ mod tests {
         let p = assemble("ld a0, (sp)\nld a1, -8(s0)\nsb a2, 3(a3)\n").unwrap();
         let is = insts(&p);
         assert_eq!(is[0], Inst::Load { op: LoadOp::Ld, rd: Reg::new(10), rs1: Reg::SP, offset: 0 });
-        assert_eq!(is[1], Inst::Load { op: LoadOp::Ld, rd: Reg::new(11), rs1: Reg::new(8), offset: -8 });
-        assert_eq!(is[2], Inst::Store { op: StoreOp::Sb, rs1: Reg::new(13), rs2: Reg::new(12), offset: 3 });
+        assert_eq!(
+            is[1],
+            Inst::Load { op: LoadOp::Ld, rd: Reg::new(11), rs1: Reg::new(8), offset: -8 }
+        );
+        assert_eq!(
+            is[2],
+            Inst::Store { op: StoreOp::Sb, rs1: Reg::new(13), rs2: Reg::new(12), offset: 3 }
+        );
     }
 
     #[test]

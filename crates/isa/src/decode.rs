@@ -20,7 +20,7 @@ impl std::error::Error for DecodeError {}
 
 fn sext(value: u32, bits: u32) -> i64 {
     let shift = 64 - bits;
-    ((value as i64) << shift) >> shift 
+    ((value as i64) << shift) >> shift
 }
 
 /// Decodes a 32-bit machine word into an [`Inst`].
@@ -108,7 +108,12 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             let op = match funct3 {
                 0b000 => AluOp::Add,
                 0b001 if funct7 & 0x7E == 0 => {
-                    return Ok(Inst::OpImm { op: AluOp::Sll, rd, rs1, imm: ((word >> 20) & 0x3F) as i64 })
+                    return Ok(Inst::OpImm {
+                        op: AluOp::Sll,
+                        rd,
+                        rs1,
+                        imm: ((word >> 20) & 0x3F) as i64,
+                    })
                 }
                 0b010 => AluOp::Slt,
                 0b011 => AluOp::Sltu,

@@ -126,11 +126,21 @@ mod tests {
     #[test]
     fn renders_common_forms() {
         assert_eq!(
-            disassemble(&Inst::OpImm { op: AluOp::Add, rd: Reg::new(10), rs1: Reg::new(10), imm: 1 }),
+            disassemble(&Inst::OpImm {
+                op: AluOp::Add,
+                rd: Reg::new(10),
+                rs1: Reg::new(10),
+                imm: 1
+            }),
             "addi a0, a0, 1"
         );
         assert_eq!(
-            disassemble(&Inst::Store { op: StoreOp::Sd, rs1: Reg::SP, rs2: Reg::new(11), offset: 16 }),
+            disassemble(&Inst::Store {
+                op: StoreOp::Sd,
+                rs1: Reg::SP,
+                rs2: Reg::new(11),
+                offset: 16
+            }),
             "sd a1, 16(sp)"
         );
         assert_eq!(disassemble(&Inst::Jal { rd: Reg::ZERO, offset: -8 }), "jal zero, -8");

@@ -26,7 +26,11 @@ fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) ->
 
 fn i_type(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i64) -> u32 {
     let imm = (imm as u32) & 0xFFF;
-    opcode | ((rd.index() as u32) << 7) | (funct3 << 12) | ((rs1.index() as u32) << 15) | (imm << 20)
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | (imm << 20)
 }
 
 fn s_type(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
@@ -221,10 +225,7 @@ pub fn encode(inst: &Inst) -> u32 {
 fn check_range(value: i64, bits: u32, what: &str) {
     let min = -(1i64 << (bits - 1));
     let max = (1i64 << (bits - 1)) - 1;
-    assert!(
-        (min..=max).contains(&value),
-        "{what} {value} does not fit in {bits} signed bits"
-    );
+    assert!((min..=max).contains(&value), "{what} {value} does not fit in {bits} signed bits");
 }
 
 #[cfg(test)]
@@ -290,7 +291,8 @@ mod tests {
     #[test]
     fn srai_encodes_funct6() {
         // srai a0, a0, 3
-        let w = encode(&Inst::OpImm { op: AluOp::Sra, rd: Reg::new(10), rs1: Reg::new(10), imm: 3 });
+        let w =
+            encode(&Inst::OpImm { op: AluOp::Sra, rd: Reg::new(10), rs1: Reg::new(10), imm: 3 });
         assert_eq!(w, 0x4035_5513);
     }
 

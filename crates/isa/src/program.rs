@@ -71,10 +71,7 @@ impl Program {
     /// Panics if the symbol is not defined; intended for test and harness
     /// code where a missing symbol is a programming error.
     pub fn symbol_addr(&self, name: &str) -> u64 {
-        self.symbols
-            .get(name)
-            .unwrap_or_else(|| panic!("symbol `{name}` not defined"))
-            .addr
+        self.symbols.get(name).unwrap_or_else(|| panic!("symbol `{name}` not defined")).addr
     }
 
     /// Iterates over all symbols in name order.

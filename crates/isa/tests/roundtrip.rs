@@ -82,26 +82,50 @@ fn inst() -> impl Strategy<Value = Inst> {
         (reg(), -524288i64..524288).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
         (reg(), -1048576i64..1048576).prop_map(|(rd, o)| Inst::Jal { rd, offset: o & !1 }),
         (reg(), reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (branch_op(), reg(), reg(), -4096i64..4096)
-            .prop_map(|(op, rs1, rs2, o)| Inst::Branch { op, rs1, rs2, offset: o & !1 }),
-        (load_op(), reg(), reg(), -2048i64..2048)
-            .prop_map(|(op, rd, rs1, offset)| Inst::Load { op, rd, rs1, offset }),
-        (store_op(), reg(), reg(), -2048i64..2048)
-            .prop_map(|(op, rs1, rs2, offset)| Inst::Store { op, rs1, rs2, offset }),
-        (alu_op(), reg(), reg(), -2048i64..2048).prop_filter_map("imm form", |(op, rd, rs1, imm)| {
-            if !op.has_imm_form() {
-                return None;
-            }
-            let imm = match op {
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(64),
-                AluOp::SllW | AluOp::SrlW | AluOp::SraW => imm.rem_euclid(32),
-                _ => imm,
-            };
-            Some(Inst::OpImm { op, rd, rs1, imm })
+        (branch_op(), reg(), reg(), -4096i64..4096).prop_map(|(op, rs1, rs2, o)| Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset: o & !1
         }),
-        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
-        (muldiv_op(), reg(), reg(), reg())
-            .prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv { op, rd, rs1, rs2 }),
+        (load_op(), reg(), reg(), -2048i64..2048).prop_map(|(op, rd, rs1, offset)| Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset
+        }),
+        (store_op(), reg(), reg(), -2048i64..2048).prop_map(|(op, rs1, rs2, offset)| Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset
+        }),
+        (alu_op(), reg(), reg(), -2048i64..2048).prop_filter_map(
+            "imm form",
+            |(op, rd, rs1, imm)| {
+                if !op.has_imm_form() {
+                    return None;
+                }
+                let imm = match op {
+                    AluOp::Sll | AluOp::Srl | AluOp::Sra => imm.rem_euclid(64),
+                    AluOp::SllW | AluOp::SrlW | AluOp::SraW => imm.rem_euclid(32),
+                    _ => imm,
+                };
+                Some(Inst::OpImm { op, rd, rs1, imm })
+            }
+        ),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (muldiv_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)], reg(), reg(), 0u16..4096)
             .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
         Just(Inst::Ecall),

@@ -28,4 +28,3 @@ pub mod memcmp;
 pub mod modexp;
 pub mod openssl;
 pub mod sbox;
-

@@ -632,7 +632,12 @@ mod tests {
                 cold.iterations.iter().filter(|i| i.label == label).map(|i| i.cycles()).collect();
             xs.iter().sum::<u64>() as f64 / xs.len() as f64
         };
-        assert!((avgc(1) - avgc(0)).abs() < 3.0, "cold runs should overlap: {} vs {}", avgc(1), avgc(0));
+        assert!(
+            (avgc(1) - avgc(0)).abs() < 3.0,
+            "cold runs should overlap: {} vs {}",
+            avgc(1),
+            avgc(0)
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ impl Primitive {
             }),
             Primitive {
                 name: "constant_time_eq_bn",
-                kind: Kind::BigNum { roi: EQ_BN_ROI, gen: gen_bn_eq, reference: |a, b| mask64(a == b) },
+                kind: Kind::BigNum {
+                    roi: EQ_BN_ROI,
+                    gen: gen_bn_eq,
+                    reference: |a, b| mask64(a == b),
+                },
             },
             // -- select family --
             scalar("constant_time_select", SELECT_64, gen_select, |v| {
@@ -405,7 +409,7 @@ fn gen_bn_eq(rng: &mut StdRng) -> ([u64; 4], [u64; 4], u64) {
         (a, a, 1)
     } else {
         let mut b = a;
-        b[rng.gen_range(0..4)] ^= rng.gen::<u64>() | 1;
+        b[rng.gen_range(0..4usize)] ^= rng.gen::<u64>() | 1;
         (a, b, (a == b) as u64)
     }
 }
@@ -416,7 +420,8 @@ fn gen_bn_lt(rng: &mut StdRng) -> ([u64; 4], [u64; 4], u64) {
         rng.gen()
     } else {
         let mut b = a;
-        b[rng.gen_range(0..4)] = b[rng.gen_range(0..4)].wrapping_add(1);
+        let i = rng.gen_range(0..4usize);
+        b[i] = b[i].wrapping_add(1);
         b
     };
     let label = bn_lt_ref(&a, &b);
@@ -814,7 +819,8 @@ mod tests {
 
     #[test]
     fn lookup_labels_are_indices() {
-        let lookup = Primitive::all().into_iter().find(|p| p.name == "constant_time_lookup").unwrap();
+        let lookup =
+            Primitive::all().into_iter().find(|p| p.name == "constant_time_lookup").unwrap();
         let outcome = lookup.run(CoreConfig::small_boom(), 8, 9, TraceConfig::default()).unwrap();
         assert!(outcome.functional_ok);
         for it in &outcome.result.iterations {

@@ -166,9 +166,8 @@ mod tests {
     #[test]
     fn both_variants_functionally_correct() {
         for kernel in [SboxKernel::table_lookup(), SboxKernel::constant_time_scan()] {
-            let (result, ok) = kernel
-                .run(CoreConfig::mega_boom(), 12, 5, TraceConfig::default())
-                .unwrap();
+            let (result, ok) =
+                kernel.run(CoreConfig::mega_boom(), 12, 5, TraceConfig::default()).unwrap();
             assert!(ok, "{:?} output mismatch", kernel.implementation());
             assert_eq!(result.iterations.len(), 12);
             for it in &result.iterations {
@@ -187,12 +186,8 @@ mod tests {
         use std::collections::BTreeMap;
         let mut per_class: BTreeMap<u64, std::collections::BTreeSet<u64>> = BTreeMap::new();
         for it in &result.iterations {
-            let lines: std::collections::BTreeSet<u64> = it
-                .unit(UnitId::LqAddr)
-                .features
-                .iter()
-                .map(|a| a >> 6)
-                .collect();
+            let lines: std::collections::BTreeSet<u64> =
+                it.unit(UnitId::LqAddr).features.iter().map(|a| a >> 6).collect();
             per_class.entry(it.label).or_default().extend(lines);
         }
         assert!(per_class.len() >= 3, "several classes observed");

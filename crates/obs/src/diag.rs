@@ -1,0 +1,241 @@
+//! Leveled diagnostic sink and sweep progress heartbeats.
+//!
+//! Replaces ad-hoc `eprintln!` debugging throughout the workspace. Output
+//! is gated by the `MICROSAMPLER_LOG` environment variable (`off`,
+//! `error`, `warn`, `info`, `debug`, `trace`; default `off` — library
+//! code stays silent in tests and sweeps) and goes to stderr, or to a
+//! capture buffer installed by tests via [`set_capture`].
+//!
+//! Progress heartbeats ([`progress`], "trial N of M" for long sweeps) are
+//! gated separately by `MICROSAMPLER_PROGRESS` (any value but `0`
+//! enables) or [`set_progress`].
+//!
+//! Use through the macros:
+//!
+//! ```
+//! microsampler_obs::diag_warn!("cache flush ignored at cycle {}", 42);
+//! microsampler_obs::diag!(microsampler_obs::Level::Trace, "raw row: {:?}", [1, 2]);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Diagnostic severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems the caller will also see as an `Err`/exit.
+    Error = 1,
+    /// Suspicious but non-fatal conditions.
+    Warn = 2,
+    /// High-level lifecycle events.
+    Info = 3,
+    /// Detailed pipeline diagnostics (e.g. per-stall dumps).
+    Debug = 4,
+    /// Per-cycle firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+const LEVEL_OFF: u8 = 0;
+const PROGRESS_UNSET: u8 = u8::MAX;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+static PROGRESS: AtomicU8 = AtomicU8::new(PROGRESS_UNSET);
+static CAPTURE: Mutex<Option<Arc<Mutex<String>>>> = Mutex::new(None);
+
+fn parse_level(s: &str) -> u8 {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "off" | "none" => LEVEL_OFF,
+        "error" | "1" => Level::Error as u8,
+        "warn" | "warning" | "2" => Level::Warn as u8,
+        "info" | "3" => Level::Info as u8,
+        "debug" | "4" => Level::Debug as u8,
+        "trace" | "5" => Level::Trace as u8,
+        _ => Level::Info as u8,
+    }
+}
+
+fn max_level() -> u8 {
+    let cur = MAX_LEVEL.load(Ordering::Relaxed);
+    if cur != LEVEL_UNSET {
+        return cur;
+    }
+    let from_env = std::env::var("MICROSAMPLER_LOG").map(|v| parse_level(&v)).unwrap_or(LEVEL_OFF);
+    MAX_LEVEL.store(from_env, Ordering::Relaxed);
+    from_env
+}
+
+/// Overrides the maximum emitted level (`None` silences everything).
+/// Takes precedence over `MICROSAMPLER_LOG`.
+pub fn set_max_level(level: Option<Level>) {
+    MAX_LEVEL.store(level.map_or(LEVEL_OFF, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= max_level()
+}
+
+/// Emits a diagnostic line. Prefer the [`diag!`](crate::diag!) family,
+/// which checks [`enabled`] before formatting.
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    let line = format!("[microsampler {}] {target}: {args}", level.name());
+    write_line(&line);
+}
+
+/// Whether progress heartbeats are enabled.
+pub fn progress_enabled() -> bool {
+    let cur = PROGRESS.load(Ordering::Relaxed);
+    if cur != PROGRESS_UNSET {
+        return cur != 0;
+    }
+    let on = match std::env::var("MICROSAMPLER_PROGRESS") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "off"),
+        Err(_) => false,
+    };
+    PROGRESS.store(on as u8, Ordering::Relaxed);
+    on
+}
+
+/// Overrides progress heartbeat gating (takes precedence over
+/// `MICROSAMPLER_PROGRESS`).
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on as u8, Ordering::Relaxed);
+}
+
+/// Emits a "task: N/M" heartbeat for long sweeps (no-op unless enabled).
+pub fn progress(task: &str, done: usize, total: usize) {
+    if progress_enabled() {
+        write_line(&format!("[progress] {task}: {done}/{total}"));
+    }
+}
+
+/// Routes diagnostics into a shared buffer instead of stderr (tests).
+/// Pass `None` to restore stderr.
+pub fn set_capture(buffer: Option<Arc<Mutex<String>>>) {
+    *CAPTURE.lock().expect("capture sink poisoned") = buffer;
+}
+
+fn write_line(line: &str) {
+    let capture = CAPTURE.lock().expect("capture sink poisoned");
+    match &*capture {
+        Some(buf) => {
+            let mut buf = buf.lock().expect("capture buffer poisoned");
+            buf.push_str(line);
+            buf.push('\n');
+        }
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Emits at an explicit [`Level`]; formats lazily (nothing is formatted
+/// when the level is disabled).
+#[macro_export]
+macro_rules! diag {
+    ($level:expr, $($arg:tt)+) => {
+        if $crate::diag::enabled($level) {
+            $crate::diag::emit($level, module_path!(), format_args!($($arg)+));
+        }
+    };
+}
+
+/// [`diag!`] at [`Level::Error`](crate::Level::Error).
+#[macro_export]
+macro_rules! diag_error {
+    ($($arg:tt)+) => { $crate::diag!($crate::diag::Level::Error, $($arg)+) };
+}
+
+/// [`diag!`] at [`Level::Warn`](crate::Level::Warn).
+#[macro_export]
+macro_rules! diag_warn {
+    ($($arg:tt)+) => { $crate::diag!($crate::diag::Level::Warn, $($arg)+) };
+}
+
+/// [`diag!`] at [`Level::Info`](crate::Level::Info).
+#[macro_export]
+macro_rules! diag_info {
+    ($($arg:tt)+) => { $crate::diag!($crate::diag::Level::Info, $($arg)+) };
+}
+
+/// [`diag!`] at [`Level::Debug`](crate::Level::Debug).
+#[macro_export]
+macro_rules! diag_debug {
+    ($($arg:tt)+) => { $crate::diag!($crate::diag::Level::Debug, $($arg)+) };
+}
+
+/// [`diag!`] at [`Level::Trace`](crate::Level::Trace).
+#[macro_export]
+macro_rules! diag_trace {
+    ($($arg:tt)+) => { $crate::diag!($crate::diag::Level::Trace, $($arg)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // Level/capture state is process-global; serialize tests touching it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn with_capture(f: impl FnOnce()) -> String {
+        let buf = Arc::new(Mutex::new(String::new()));
+        set_capture(Some(buf.clone()));
+        f();
+        set_capture(None);
+        let out = buf.lock().unwrap().clone();
+        out
+    }
+
+    #[test]
+    fn levels_filter() {
+        let _l = LOCK.lock().unwrap();
+        set_max_level(Some(Level::Warn));
+        let out = with_capture(|| {
+            crate::diag_error!("e {}", 1);
+            crate::diag_warn!("w");
+            crate::diag_info!("i");
+            crate::diag_debug!("d");
+        });
+        set_max_level(None);
+        assert!(out.contains("[microsampler error]"), "{out}");
+        assert!(out.contains("e 1"), "{out}");
+        assert!(out.contains("[microsampler warn]"), "{out}");
+        assert!(!out.contains("info"), "{out}");
+        assert!(!out.contains("debug"), "{out}");
+    }
+
+    #[test]
+    fn off_emits_nothing() {
+        let _l = LOCK.lock().unwrap();
+        set_max_level(None);
+        let out = with_capture(|| {
+            crate::diag_error!("silent");
+        });
+        assert!(out.is_empty(), "{out}");
+    }
+
+    #[test]
+    fn progress_heartbeats() {
+        let _l = LOCK.lock().unwrap();
+        set_progress(true);
+        let out = with_capture(|| progress("table5", 3, 27));
+        assert_eq!(out, "[progress] table5: 3/27\n");
+        set_progress(false);
+        let out = with_capture(|| progress("table5", 4, 27));
+        assert!(out.is_empty());
+    }
+}

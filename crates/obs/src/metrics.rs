@@ -1,0 +1,174 @@
+//! Process-wide metrics registry.
+//!
+//! Named observations aggregate into count/sum/min/max/last cells, so a
+//! sweep that simulates N trials and records `sim.cycles` per trial ends
+//! up with one cell carrying the per-trial distribution summary. Like the
+//! span layer, the registry is **off by default** and [`record`] is one
+//! relaxed atomic load when disabled.
+//!
+//! Naming convention used by the pipeline (dotted, lowercase):
+//! `sim.*` for simulator counters exported from `CoreStats`
+//! (`sim.cycles`, `sim.ipc`, `sim.branch_mispredicts`, …), `trace.*` for
+//! tracer volumes (`trace.rows_sampled`, `trace.hash_bytes`, …).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Value;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<BTreeMap<String, Agg>> = Mutex::new(BTreeMap::new());
+
+/// Aggregate of all observations recorded under one name.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Agg {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Most recent observed value.
+    pub last: f64,
+}
+
+impl Agg {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.last = value;
+    }
+
+    fn first(value: f64) -> Agg {
+        Agg { count: 1, sum: value, min: value, max: value, last: value }
+    }
+
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Enables or disables metric recording process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records one observation under `name` (no-op while disabled).
+pub fn record(name: &str, value: f64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    match reg.get_mut(name) {
+        Some(agg) => agg.observe(value),
+        None => {
+            reg.insert(name.to_owned(), Agg::first(value));
+        }
+    }
+}
+
+/// Records a batch of `(suffix, value)` observations under
+/// `prefix.suffix` names (no-op while disabled).
+pub fn record_batch(prefix: &str, kvs: &[(&str, f64)]) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    for (suffix, value) in kvs {
+        let name = format!("{prefix}.{suffix}");
+        match reg.get_mut(&name) {
+            Some(agg) => agg.observe(*value),
+            None => {
+                reg.insert(name, Agg::first(*value));
+            }
+        }
+    }
+}
+
+/// Returns the current aggregates, sorted by name.
+pub fn snapshot() -> Vec<(String, Agg)> {
+    let reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.iter().map(|(k, v)| (k.clone(), *v)).collect()
+}
+
+/// Clears the registry (e.g. between experiments of one process).
+pub fn reset() {
+    REGISTRY.lock().expect("metrics registry poisoned").clear();
+}
+
+/// Renders a snapshot as a JSON object keyed by metric name, each cell
+/// `{count, sum, min, max, last, mean}`.
+pub fn snapshot_to_json(snapshot: &[(String, Agg)]) -> Value {
+    Value::Object(
+        snapshot
+            .iter()
+            .map(|(name, agg)| {
+                (
+                    name.clone(),
+                    Value::object()
+                        .field("count", agg.count)
+                        .field("sum", agg.sum)
+                        .field("min", agg.min)
+                        .field("max", agg.max)
+                        .field("last", agg.last)
+                        .field("mean", agg.mean())
+                        .build(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    // The registry is process-global; serialize tests touching it.
+    static LOCK: StdMutex<()> = StdMutex::new(());
+
+    #[test]
+    fn aggregates_across_observations() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        record("t.cycles", 10.0);
+        record("t.cycles", 30.0);
+        record_batch("t", &[("cycles", 20.0), ("ipc", 1.5)]);
+        let snap = snapshot();
+        set_enabled(false);
+        let cycles = &snap.iter().find(|(n, _)| n == "t.cycles").unwrap().1;
+        assert_eq!(cycles.count, 3);
+        assert_eq!(cycles.sum, 60.0);
+        assert_eq!(cycles.min, 10.0);
+        assert_eq!(cycles.max, 30.0);
+        assert_eq!(cycles.last, 20.0);
+        assert_eq!(cycles.mean(), 20.0);
+        assert!(snap.iter().any(|(n, _)| n == "t.ipc"));
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(false);
+        reset();
+        record("nope", 1.0);
+        record_batch("nope", &[("x", 2.0)]);
+        assert!(snapshot().is_empty());
+    }
+}

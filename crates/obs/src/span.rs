@@ -1,0 +1,324 @@
+//! Hierarchical scoped timers ("spans") for the analysis pipeline.
+//!
+//! A span measures the wall-clock time of a scope and attributes it to a
+//! node in a per-thread tree keyed by the nesting of active spans. Nodes
+//! with the same name under the same parent aggregate (count + total), so
+//! a sweep of N trials produces one `"sim.run"` node with `count == N`,
+//! not N nodes.
+//!
+//! The layer is **off by default**. While disabled, [`span`] performs one
+//! relaxed atomic load and returns an inert guard — no clock read, no
+//! thread-local access, no allocation — so library code can be
+//! instrumented unconditionally (see the disabled-cost bench in
+//! `microsampler-bench`).
+//!
+//! Trees are per-thread; the pipeline is single-threaded per trial, and a
+//! collector thread calls [`take`] between experiments. Toggling
+//! [`set_enabled`] *while spans are open* is unsupported (the guard
+//! tolerates it but attribution of the open spans is undefined).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::json::Value;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::default());
+}
+
+/// One aggregated node of the span tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Span name (static so the enabled path never allocates for names).
+    pub name: &'static str,
+    /// Number of times a span with this path closed.
+    pub count: u64,
+    /// Total wall-clock time across all closings.
+    pub total: Duration,
+    /// Child spans in first-entered order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &'static str) -> SpanNode {
+        SpanNode { name, count: 0, total: Duration::ZERO, children: Vec::new() }
+    }
+
+    /// Finds a direct child by name.
+    pub fn child(&self, name: &str) -> Option<&SpanNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Sum of the children's totals (time not covered by children is the
+    /// node's self-time).
+    pub fn children_total(&self) -> Duration {
+        self.children.iter().map(|c| c.total).sum()
+    }
+}
+
+#[derive(Default)]
+struct Collector {
+    roots: Vec<SpanNode>,
+    /// Index path from `roots` to the innermost open span.
+    stack: Vec<usize>,
+}
+
+impl Collector {
+    fn enter(&mut self, name: &'static str) {
+        let children = Self::children_at(&mut self.roots, &self.stack);
+        let idx = match children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                children.push(SpanNode::new(name));
+                children.len() - 1
+            }
+        };
+        self.stack.push(idx);
+    }
+
+    fn close(&mut self, elapsed: Duration) {
+        // Tolerate an unmatched close (enable toggled mid-span, or `take`
+        // called with a span open): drop the measurement.
+        let Some(idx) = self.stack.pop() else { return };
+        let children = Self::children_at(&mut self.roots, &self.stack);
+        if let Some(node) = children.get_mut(idx) {
+            node.count += 1;
+            node.total += elapsed;
+        }
+    }
+
+    fn children_at<'a>(roots: &'a mut Vec<SpanNode>, path: &[usize]) -> &'a mut Vec<SpanNode> {
+        let mut cur = roots;
+        for &i in path {
+            cur = &mut cur[i].children;
+        }
+        cur
+    }
+}
+
+/// Enables or disables span collection process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span collection is currently enabled.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`span`]; records the elapsed time on drop.
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed();
+            COLLECTOR.with(|c| c.borrow_mut().close(elapsed));
+        }
+    }
+}
+
+/// Opens a span. While the guard lives, nested [`span`] calls attribute
+/// their time under this node.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { start: None };
+    }
+    COLLECTOR.with(|c| c.borrow_mut().enter(name));
+    SpanGuard { start: Some(Instant::now()) }
+}
+
+/// Runs `f` inside a span.
+pub fn with_span<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    let _guard = span(name);
+    f()
+}
+
+/// Drains and returns this thread's completed span tree. Call outside any
+/// open span; open spans are discarded.
+pub fn take() -> Vec<SpanNode> {
+    COLLECTOR.with(|c| {
+        let mut col = c.borrow_mut();
+        col.stack.clear();
+        std::mem::take(&mut col.roots)
+    })
+}
+
+/// Merges a forest (e.g. one returned by [`take`]) back into this
+/// thread's collector at the root level, aggregating nodes with matching
+/// names. Lets a caller drain and inspect its own subtree without losing
+/// spans an enclosing collector already accumulated:
+///
+/// ```
+/// # use microsampler_obs::span;
+/// # span::set_enabled(true);
+/// # span::take();
+/// span::with_span("stage", || ());
+/// let parked = span::take(); // inspect in isolation …
+/// span::merge(parked);       // … then hand everything back
+/// # assert_eq!(span::take()[0].name, "stage");
+/// # span::set_enabled(false);
+/// ```
+///
+/// Runs regardless of [`enabled`] (the nodes were already paid for).
+pub fn merge(forest: Vec<SpanNode>) {
+    if forest.is_empty() {
+        return;
+    }
+    COLLECTOR.with(|c| merge_into(&mut c.borrow_mut().roots, forest));
+}
+
+fn merge_into(dst: &mut Vec<SpanNode>, src: Vec<SpanNode>) {
+    for node in src {
+        match dst.iter_mut().find(|d| d.name == node.name) {
+            Some(d) => {
+                d.count += node.count;
+                d.total += node.total;
+                merge_into(&mut d.children, node.children);
+            }
+            None => dst.push(node),
+        }
+    }
+}
+
+/// Looks up a node by a `/`-separated path in a forest (e.g.
+/// `"table6/simulate"`).
+pub fn find<'a>(nodes: &'a [SpanNode], path: &str) -> Option<&'a SpanNode> {
+    let mut segments = path.split('/');
+    let first = segments.next()?;
+    let mut cur = nodes.iter().find(|n| n.name == first)?;
+    for seg in segments {
+        cur = cur.child(seg)?;
+    }
+    Some(cur)
+}
+
+/// Renders a span forest as JSON (stable schema: `name`, `count`,
+/// `total_ns`, `children`).
+pub fn nodes_to_json(nodes: &[SpanNode]) -> Value {
+    Value::Array(nodes.iter().map(node_to_json).collect())
+}
+
+fn node_to_json(node: &SpanNode) -> Value {
+    Value::object()
+        .field("name", node.name)
+        .field("count", node.count)
+        .field("total_ns", node.total.as_nanos() as u64)
+        .field("children", nodes_to_json(&node.children))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The enable flag is process-global; serialize tests toggling it.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_records_zero_spans() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(false);
+        take();
+        {
+            let _a = span("simulate");
+            let _b = span("parse");
+            with_span("correlate", || ());
+        }
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn nesting_and_aggregation() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        for _ in 0..3 {
+            let _outer = span("run");
+            with_span("simulate", || ());
+            with_span("simulate", || ());
+            with_span("analyze", || ());
+        }
+        let tree = take();
+        set_enabled(false);
+        assert_eq!(tree.len(), 1);
+        let run = &tree[0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.count, 3);
+        let sim = run.child("simulate").unwrap();
+        assert_eq!(sim.count, 6);
+        assert_eq!(run.child("analyze").unwrap().count, 3);
+        assert_eq!(find(&tree, "run/simulate").unwrap().count, 6);
+        assert!(find(&tree, "run/missing").is_none());
+        assert!(run.total >= run.children_total());
+    }
+
+    #[test]
+    fn sibling_order_is_first_entered() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        with_span("first", || ());
+        with_span("second", || ());
+        with_span("first", || ());
+        let tree = take();
+        set_enabled(false);
+        assert_eq!(tree.iter().map(|n| n.name).collect::<Vec<_>>(), ["first", "second"]);
+        assert_eq!(tree[0].count, 2);
+    }
+
+    #[test]
+    fn open_spans_are_discarded_by_take() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        let open = span("dangling");
+        let tree = take();
+        drop(open); // closes after take(); must not panic or misattribute
+        let tree2 = take();
+        set_enabled(false);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].count, 0, "open span has no completed closings");
+        assert!(tree2.is_empty());
+    }
+
+    #[test]
+    fn merge_aggregates_matching_paths() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        with_span("a", || with_span("b", || ()));
+        let first = take();
+        with_span("a", || with_span("c", || ()));
+        merge(first);
+        let tree = take();
+        set_enabled(false);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].count, 2);
+        assert!(tree[0].child("b").is_some());
+        assert!(tree[0].child("c").is_some());
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        with_span("outer", || with_span("inner", || ()));
+        let tree = take();
+        set_enabled(false);
+        let json = nodes_to_json(&tree);
+        let outer = &json.as_array().unwrap()[0];
+        assert_eq!(outer.get("name").unwrap().as_str(), Some("outer"));
+        assert_eq!(outer.get("count").unwrap().as_u64(), Some(1));
+        assert!(outer.get("total_ns").unwrap().as_u64().is_some());
+        let inner = &outer.get("children").unwrap().as_array().unwrap()[0];
+        assert_eq!(inner.get("name").unwrap().as_str(), Some("inner"));
+    }
+}

@@ -105,8 +105,22 @@ impl CoreConfig {
             btb_entries: 128,
             ras_entries: 8,
             branch_kill_delay: 5,
-            l1d: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 8, hit_latency: 3, miss_latency: 24 },
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1, miss_latency: 24 },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                mshrs: 8,
+                hit_latency: 3,
+                miss_latency: 24,
+            },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                mshrs: 2,
+                hit_latency: 1,
+                miss_latency: 24,
+            },
             tlb_entries: 32,
             tlb_miss_latency: 12,
             prefetcher: PrefetcherKind::NextLine,
@@ -140,8 +154,22 @@ impl CoreConfig {
             btb_entries: 64,
             ras_entries: 4,
             branch_kill_delay: 3,
-            l1d: CacheConfig { sets: 64, ways: 4, line_bytes: 64, mshrs: 4, hit_latency: 3, miss_latency: 24 },
-            l1i: CacheConfig { sets: 64, ways: 8, line_bytes: 64, mshrs: 2, hit_latency: 1, miss_latency: 24 },
+            l1d: CacheConfig {
+                sets: 64,
+                ways: 4,
+                line_bytes: 64,
+                mshrs: 4,
+                hit_latency: 3,
+                miss_latency: 24,
+            },
+            l1i: CacheConfig {
+                sets: 64,
+                ways: 8,
+                line_bytes: 64,
+                mshrs: 2,
+                hit_latency: 1,
+                miss_latency: 24,
+            },
             tlb_entries: 8,
             tlb_miss_latency: 12,
             prefetcher: PrefetcherKind::NextLine,

@@ -14,8 +14,8 @@ use crate::tlb::Tlb;
 use crate::trace::{TraceConfig, Tracer, UnitId};
 use crate::CoreStats;
 use microsampler_isa::{
-    CsrOp, Inst, Program, Reg, CSR_EXIT, CSR_FLUSH_DCACHE, CSR_FLUSH_LINE, CSR_FLUSH_TLB,
-    CSR_CYCLE, CSR_INPUT, CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START,
+    CsrOp, Inst, Program, Reg, CSR_CYCLE, CSR_EXIT, CSR_FLUSH_DCACHE, CSR_FLUSH_LINE,
+    CSR_FLUSH_TLB, CSR_INPUT, CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START,
     STACK_TOP,
 };
 use std::collections::VecDeque;
@@ -258,7 +258,7 @@ impl Core {
     }
 
     fn debug_dump(&self) {
-        eprintln!(
+        microsampler_obs::diag_debug!(
             "c{} fpc={:#x} bub={} fb={} iq={:?} squash={:?}",
             self.cycle,
             self.fetch_pc,
@@ -268,16 +268,30 @@ impl Core {
             self.pending_squashes.iter().map(|p| (p.branch_seq, p.apply_at)).collect::<Vec<_>>(),
         );
         for u in &self.rob {
-            eprintln!(
+            microsampler_obs::diag_debug!(
                 "  rob seq={} pc={:#x} {:?} issued={} done={}",
-                u.seq, u.pc, u.inst, u.issued, u.completed
+                u.seq,
+                u.pc,
+                u.inst,
+                u.issued,
+                u.completed
             );
         }
         for e in &self.stq {
-            eprintln!("  stq seq={} addr={:?} state={:?}", e.seq, e.addr, e.state);
+            microsampler_obs::diag_debug!(
+                "  stq seq={} addr={:?} state={:?}",
+                e.seq,
+                e.addr,
+                e.state
+            );
         }
         for e in &self.ldq {
-            eprintln!("  ldq seq={} addr={:?} state={:?}", e.seq, e.addr, e.state);
+            microsampler_obs::diag_debug!(
+                "  ldq seq={} addr={:?} state={:?}",
+                e.seq,
+                e.addr,
+                e.state
+            );
         }
     }
 
@@ -315,9 +329,7 @@ impl Core {
         match p {
             None => true,
             Some(0) => true,
-            Some(p) => {
-                self.prf_ready[p as usize] && self.prf_ready_at[p as usize] <= self.cycle
-            }
+            Some(p) => self.prf_ready[p as usize] && self.prf_ready_at[p as usize] <= self.cycle,
         }
     }
 
@@ -393,10 +405,9 @@ impl Core {
                 Inst::Jalr { .. } => {
                     self.btb.update(head.pc, head.result);
                 }
-                Inst::Load { .. }
-                    if self.ldq.front().map(|e| e.seq) == Some(head.seq) => {
-                        self.ldq.pop_front();
-                    }
+                Inst::Load { .. } if self.ldq.front().map(|e| e.seq) == Some(head.seq) => {
+                    self.ldq.pop_front();
+                }
                 Inst::Store { .. } => {
                     self.commit_store(head.seq);
                 }
@@ -458,8 +469,7 @@ impl Core {
             .min_by_key(|ps| ps.branch_seq)
             .cloned();
         let Some(ps) = ready else { return };
-        self.pending_squashes
-            .retain(|p| p.branch_seq < ps.branch_seq);
+        self.pending_squashes.retain(|p| p.branch_seq < ps.branch_seq);
         let Some(branch_idx) = self.rob_index(ps.branch_seq) else {
             // The branch is gone (killed by an even older squash earlier).
             return;
@@ -657,12 +667,8 @@ impl Core {
         }
         // Start memory accesses for ready loads (up to 2 per cycle).
         let mut started = 0;
-        let ready: Vec<u64> = self
-            .ldq
-            .iter()
-            .filter(|e| e.state == LdState::Ready)
-            .map(|e| e.seq)
-            .collect();
+        let ready: Vec<u64> =
+            self.ldq.iter().filter(|e| e.state == LdState::Ready).map(|e| e.seq).collect();
         for seq in ready {
             if started >= 2 {
                 break;
@@ -1107,7 +1113,8 @@ impl Core {
             && self.fetch_buffer.len() < self.cfg.fetch_buffer_entries
         {
             let pc = self.fetch_pc;
-            if pc < self.text_base || pc >= self.text_base + self.text_len || !pc.is_multiple_of(4) {
+            if pc < self.text_base || pc >= self.text_base + self.text_len || !pc.is_multiple_of(4)
+            {
                 // Off the map (almost always a wrong path): stall until a
                 // squash redirects us.
                 return;

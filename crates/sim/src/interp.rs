@@ -7,8 +7,8 @@
 
 use crate::memory::Memory;
 use microsampler_isa::{
-    AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, Program, Reg, CSR_CYCLE, CSR_EXIT,
-    CSR_INPUT, CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START, STACK_TOP,
+    AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, Program, Reg, CSR_CYCLE, CSR_EXIT, CSR_INPUT,
+    CSR_ITER_END, CSR_ITER_START, CSR_OUTPUT, CSR_SCR_END, CSR_SCR_START, STACK_TOP,
 };
 use std::collections::VecDeque;
 use std::fmt;
@@ -374,7 +374,10 @@ mod tests {
         assert_eq!(muldiv(MulDivOp::Rem, 5, 0), 5);
         assert_eq!(muldiv(MulDivOp::Div, i64::MIN as u64, -1i64 as u64), i64::MIN as u64);
         assert_eq!(muldiv(MulDivOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
-        assert_eq!(muldiv(MulDivOp::DivW, i32::MIN as i64 as u64, -1i64 as u64), i32::MIN as i64 as u64);
+        assert_eq!(
+            muldiv(MulDivOp::DivW, i32::MIN as i64 as u64, -1i64 as u64),
+            i32::MIN as i64 as u64
+        );
     }
 
     #[test]
@@ -453,9 +456,8 @@ mod tests {
 
     #[test]
     fn byte_loads_sign_and_zero_extend() {
-        let i = run_prog(
-            ".data\nv: .byte 0xFF\n.text\nla t0, v\nlb a0, 0(t0)\nlbu a1, 0(t0)\necall\n",
-        );
+        let i =
+            run_prog(".data\nv: .byte 0xFF\n.text\nla t0, v\nlb a0, 0(t0)\nlbu a1, 0(t0)\necall\n");
         assert_eq!(i.reg(Reg::new(10)), u64::MAX);
         assert_eq!(i.reg(Reg::new(11)), 0xFF);
     }

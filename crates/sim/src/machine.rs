@@ -59,9 +59,14 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Enables a per-cycle state dump to stderr (debugging aid).
+    /// Enables a per-cycle state dump through the diagnostic sink
+    /// (debugging aid). Raises the sink to `Debug` verbosity if it is
+    /// quieter, so the dump is visible without setting `MICROSAMPLER_LOG`.
     pub fn set_debug(&mut self, on: bool) {
         self.core.debug = on;
+        if on && !microsampler_obs::diag::enabled(microsampler_obs::Level::Debug) {
+            microsampler_obs::diag::set_max_level(Some(microsampler_obs::Level::Debug));
+        }
     }
 }
 
@@ -76,11 +81,7 @@ impl Machine {
     }
 
     /// Creates a machine with explicit tracing configuration.
-    pub fn with_trace_config(
-        config: CoreConfig,
-        program: &Program,
-        trace: TraceConfig,
-    ) -> Machine {
+    pub fn with_trace_config(config: CoreConfig, program: &Program, trace: TraceConfig) -> Machine {
         Machine { core: Core::new(config, program, trace) }
     }
 
@@ -102,6 +103,7 @@ impl Machine {
     /// [`SimError::OutOfCycles`] if the budget runs out,
     /// [`SimError::Deadlock`] if the pipeline stops committing.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        let _span = microsampler_obs::span::span("simulate");
         while self.core.exit.is_none() {
             if self.core.cycle >= max_cycles {
                 return Err(SimError::OutOfCycles { limit: max_cycles });
@@ -118,12 +120,49 @@ impl Machine {
         };
         let mut stats = self.core.stats.clone();
         stats.cycles = self.core.cycle;
-        Ok(RunResult {
-            cycles: self.core.cycle,
-            exit_code,
-            iterations: std::mem::take(&mut self.core.tracer.iterations),
-            stats,
-        })
+        let iterations = std::mem::take(&mut self.core.tracer.iterations);
+        self.export_metrics(&stats, iterations.len());
+        Ok(RunResult { cycles: self.core.cycle, exit_code, iterations, stats })
+    }
+
+    /// Records the run's `CoreStats` counters and tracer volumes into the
+    /// process metrics registry (`sim.*` / `trace.*`; no-op while the
+    /// registry is disabled).
+    fn export_metrics(&self, stats: &CoreStats, iterations: usize) {
+        if !microsampler_obs::metrics::enabled() {
+            return;
+        }
+        microsampler_obs::metrics::record_batch(
+            "sim",
+            &[
+                ("cycles", stats.cycles as f64),
+                ("committed", stats.committed as f64),
+                ("ipc", stats.ipc()),
+                ("branches", stats.branches as f64),
+                ("branch_mispredicts", stats.branch_mispredicts as f64),
+                ("jalr_mispredicts", stats.jalr_mispredicts as f64),
+                ("squashed", stats.squashed as f64),
+                ("l1d_hits", stats.l1d_hits as f64),
+                ("l1d_misses", stats.l1d_misses as f64),
+                ("l1i_hits", stats.l1i_hits as f64),
+                ("l1i_misses", stats.l1i_misses as f64),
+                ("tlb_hits", stats.tlb_hits as f64),
+                ("tlb_misses", stats.tlb_misses as f64),
+                ("stl_forwards", stats.stl_forwards as f64),
+                ("prefetches", stats.prefetches as f64),
+                ("fast_bypasses", stats.fast_bypasses as f64),
+            ],
+        );
+        let tracer = &self.core.tracer;
+        microsampler_obs::metrics::record_batch(
+            "trace",
+            &[
+                ("iterations", iterations as f64),
+                ("rows_sampled", tracer.rows_sampled as f64),
+                ("hash_bytes", tracer.hash_bytes as f64),
+                ("matrix_cells", tracer.matrix_cells as f64),
+            ],
+        );
     }
 
     /// Committed (architectural) value of a register.
@@ -185,10 +224,8 @@ mod tests {
     #[test]
     fn straight_line_arithmetic() {
         for cfg in [CoreConfig::small_boom(), CoreConfig::mega_boom()] {
-            let (m, r) = run_on(
-                cfg,
-                "li a0, 21\nslli a1, a0, 1\nsub a2, a1, a0\nadd a0, a1, a2\necall\n",
-            );
+            let (m, r) =
+                run_on(cfg, "li a0, 21\nslli a1, a0, 1\nsub a2, a1, a0\nadd a0, a1, a2\necall\n");
             assert_eq!(m.reg(Reg::new(10)), 63);
             assert!(r.cycles > 0);
             assert!(r.stats.ipc() > 0.0);

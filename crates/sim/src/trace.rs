@@ -214,8 +214,11 @@ impl UnitBuilder {
         }
     }
 
-    fn push_row(&mut self, row: &[u64]) {
+    /// Folds one row in; returns the number of bytes fed to the hashers.
+    fn push_row(&mut self, row: &[u64]) -> u64 {
         self.cycle_rows += 1;
+        let row_bytes = 8 * (row.len() as u64 + 1);
+        let mut hashed = row_bytes;
         self.hasher.write_u64(row.len() as u64);
         for &v in row {
             self.hasher.write_u64(v);
@@ -226,6 +229,7 @@ impl UnitBuilder {
                 self.timeless_hasher.write_u64(v);
             }
             self.last_row = Some(row.to_vec());
+            hashed += row_bytes;
         }
         for &v in row {
             if v != 0 && self.features.insert(v) {
@@ -235,6 +239,7 @@ impl UnitBuilder {
         if let Some(rows) = &mut self.rows {
             rows.push(row.to_vec());
         }
+        hashed
     }
 
     fn finish(self) -> UnitTrace {
@@ -264,13 +269,29 @@ pub struct Tracer {
     current: Option<InProgress>,
     /// Completed iterations in commit order.
     pub iterations: Vec<IterationTrace>,
+    /// Unit rows sampled so far (telemetry volume counter).
+    pub rows_sampled: u64,
+    /// Bytes fed to the snapshot hashers so far (full + timeless).
+    pub hash_bytes: u64,
+    /// Matrix cells retained so far (nonzero only with
+    /// [`TraceConfig::keep_matrices`]).
+    pub matrix_cells: u64,
     log: Option<String>,
 }
 
 impl Tracer {
     /// Creates a tracer.
     pub fn new(cfg: TraceConfig) -> Tracer {
-        Tracer { cfg, in_scr: false, current: None, iterations: Vec::new(), log: None }
+        Tracer {
+            cfg,
+            in_scr: false,
+            current: None,
+            iterations: Vec::new(),
+            rows_sampled: 0,
+            hash_bytes: 0,
+            matrix_cells: 0,
+            log: None,
+        }
     }
 
     /// Starts accumulating the text log (paper's simulator-log pipeline).
@@ -338,7 +359,11 @@ impl Tracer {
     /// unit per active cycle, after [`Tracer::begin_cycle`].
     pub fn record_row(&mut self, unit: UnitId, row: &[u64]) {
         let Some(cur) = &mut self.current else { return };
-        cur.units[unit.index()].push_row(row);
+        self.rows_sampled += 1;
+        self.hash_bytes += cur.units[unit.index()].push_row(row);
+        if self.cfg.keep_matrices {
+            self.matrix_cells += row.len() as u64;
+        }
         if let Some(log) = &mut self.log {
             log.push_str(&format!("C {} {}", cur.last_cycle, unit.name()));
             for v in row {
@@ -381,6 +406,7 @@ impl std::error::Error for ParseLogError {}
 ///
 /// Returns [`ParseLogError`] on malformed lines.
 pub fn parse_text_log(text: &str, cfg: TraceConfig) -> Result<Vec<IterationTrace>, ParseLogError> {
+    let _span = microsampler_obs::span::span("parse");
     let mut tracer = Tracer::new(cfg);
     for (idx, line) in text.lines().enumerate() {
         let lno = idx as u32 + 1;
@@ -497,7 +523,10 @@ mod tests {
     fn identical_matrices_hash_equal() {
         let t1 = sample_tracer(false);
         let t2 = sample_tracer(false);
-        assert_eq!(t1.iterations[0].unit(UnitId::SqAddr).hash, t2.iterations[0].unit(UnitId::SqAddr).hash);
+        assert_eq!(
+            t1.iterations[0].unit(UnitId::SqAddr).hash,
+            t2.iterations[0].unit(UnitId::SqAddr).hash
+        );
     }
 
     #[test]
@@ -513,8 +542,7 @@ mod tests {
     #[test]
     fn log_parses_back_to_identical_summaries() {
         let t = sample_tracer(false);
-        let parsed =
-            parse_text_log(t.log_text().unwrap(), TraceConfig::default()).unwrap();
+        let parsed = parse_text_log(t.log_text().unwrap(), TraceConfig::default()).unwrap();
         assert_eq!(parsed, t.iterations);
     }
 

@@ -29,11 +29,7 @@ fn check_program(p: &Program, mem_window: Option<(u64, usize)>, context: &str) {
         let mut m = Machine::new(cfg, p);
         m.run(50_000_000).unwrap_or_else(|e| panic!("[{name}] {e}\n{context}"));
         for r in Reg::all() {
-            assert_eq!(
-                m.reg(r),
-                golden.reg(r),
-                "[{name}] register {r} mismatch\n{context}"
-            );
+            assert_eq!(m.reg(r), golden.reg(r), "[{name}] register {r} mismatch\n{context}");
         }
         if let Some((addr, len)) = mem_window {
             assert_eq!(

@@ -104,9 +104,8 @@ impl<C: Ord + Clone, K: Ord + Clone> ContingencyTable<C, K> {
         let matrix = self.to_matrix();
         let (chi2, dof) = crate::chi_squared(&matrix);
         let live_rows = matrix.iter().filter(|r| r.iter().any(|&c| c > 0)).count() as u64;
-        let live_cols = (0..self.categories.len())
-            .filter(|&j| matrix.iter().any(|r| r[j] > 0))
-            .count() as u64;
+        let live_cols =
+            (0..self.categories.len()).filter(|&j| matrix.iter().any(|r| r[j] > 0)).count() as u64;
         Association {
             chi2,
             dof,

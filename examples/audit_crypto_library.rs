@@ -32,8 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Err(_) => Vec::new(),
             }
         });
-        let max_v =
-            outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
+        let max_v = outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
         let verdict = if outcome.report.is_leaky() {
             flagged += 1;
             "LEAK"

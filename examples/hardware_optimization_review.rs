@@ -12,7 +12,9 @@ use microsampler_kernels::inputs::random_keys;
 use microsampler_kernels::modexp::{ModexpKernel, ModexpVariant};
 use microsampler_sim::{CoreConfig, TraceConfig};
 
-fn run(config: CoreConfig) -> Result<microsampler_core::AnalysisReport, Box<dyn std::error::Error>> {
+fn run(
+    config: CoreConfig,
+) -> Result<microsampler_core::AnalysisReport, Box<dyn std::error::Error>> {
     let kernel = ModexpKernel::new(ModexpVariant::V2Safe, 4);
     let mut iterations = Vec::new();
     for key in random_keys(8, 4, 1) {

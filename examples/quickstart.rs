@@ -49,11 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the kernel over several secrets, pooling the labeled iterations.
     let mut iterations = Vec::new();
     for secret in [0x5Au8, 0xC3, 0x0F, 0x96, 0x3C, 0xA5] {
-        let mut machine = Machine::with_trace_config(
-            CoreConfig::mega_boom(),
-            &program,
-            TraceConfig::default(),
-        );
+        let mut machine =
+            Machine::with_trace_config(CoreConfig::mega_boom(), &program, TraceConfig::default());
         machine.write_mem(program.symbol_addr("secret"), &[secret]);
         let result = machine.run(1_000_000)?;
         iterations.extend(result.iterations);
@@ -73,10 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let uniq = feature_uniqueness(&iterations, UnitId::EuuAlu);
         for (class, pcs) in &uniq.unique {
             if !pcs.is_empty() {
-                println!(
-                    "  ALU PCs unique to bit={class}: {:x?}",
-                    pcs.iter().collect::<Vec<_>>()
-                );
+                println!("  ALU PCs unique to bit={class}: {:x?}", pcs.iter().collect::<Vec<_>>());
             }
         }
     } else {

@@ -134,11 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("probe latency range: {lo}..{hi} cycles (threshold {threshold})");
     println!("secret key:    {secret:02x?}");
     println!("recovered key: {recovered:02x?}");
-    let correct = secret
-        .iter()
-        .zip(&recovered)
-        .map(|(a, b)| 8 - (a ^ b).count_ones())
-        .sum::<u32>();
+    let correct = secret.iter().zip(&recovered).map(|(a, b)| 8 - (a ^ b).count_ones()).sum::<u32>();
     println!("bits recovered correctly: {correct}/64");
     if recovered == secret {
         println!("\nFull key recovery — the store-address leak MicroSampler flagged in");

@@ -19,8 +19,7 @@ fn text_log_roundtrip_matches_live_traces() {
     machine.enable_log();
     let live = machine.run(5_000_000).unwrap();
 
-    let parsed =
-        parse_text_log(machine.log_text().unwrap(), TraceConfig::default()).unwrap();
+    let parsed = parse_text_log(machine.log_text().unwrap(), TraceConfig::default()).unwrap();
     assert_eq!(parsed, live.iterations, "parsed summaries must equal live summaries");
 }
 
@@ -31,11 +30,8 @@ fn log_and_live_agree_on_the_verdict() {
     let mut live_iters = Vec::new();
     let mut parsed_iters = Vec::new();
     for key in random_keys(4, 2, 17) {
-        let mut machine = Machine::with_trace_config(
-            CoreConfig::small_boom(),
-            &program,
-            TraceConfig::default(),
-        );
+        let mut machine =
+            Machine::with_trace_config(CoreConfig::small_boom(), &program, TraceConfig::default());
         machine.write_mem(program.symbol_addr("key"), &key);
         machine.enable_log();
         let run = machine.run(5_000_000).unwrap();

@@ -11,12 +11,7 @@ fn all_primitives_functional_and_clean() {
     assert_eq!(rows.len(), 27);
     for row in &rows {
         assert!(row.functional_ok, "{} diverged from its reference model", row.name);
-        assert!(
-            !row.leak_identified,
-            "{} was falsely flagged (maxV = {:.3})",
-            row.name,
-            row.max_v
-        );
+        assert!(!row.leak_identified, "{} was falsely flagged (maxV = {:.3})", row.name, row.max_v);
     }
     // Every family from the paper's Table V is present.
     for family in ["eq", "select", "ge", "lt", "cond_swap", "lookup", "is_zero"] {

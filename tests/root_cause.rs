@@ -18,8 +18,7 @@ fn unique_store_addresses_map_back_to_memmove() {
     let trace_cfg = TraceConfig { keep_matrices: true, ..TraceConfig::default() };
     let mut iterations = Vec::new();
     for key in random_keys(4, 2, 77) {
-        let mut machine =
-            Machine::with_trace_config(CoreConfig::mega_boom(), &program, trace_cfg);
+        let mut machine = Machine::with_trace_config(CoreConfig::mega_boom(), &program, trace_cfg);
         machine.write_mem(program.symbol_addr("key"), &key);
         let run = machine.run(10_000_000).unwrap();
         assert_eq!(run.exit_code, kernel.reference(&key));
