@@ -1,0 +1,104 @@
+//! Thread-scaling benchmark for the parallel execution engine: the full
+//! ME-V1-MV pipeline (simulate + snapshot hashing + analysis) at 1, 2, 4,
+//! and all available workers.
+//!
+//! Besides the usual criterion console output, this bench writes a
+//! machine-readable `BENCH_parallel.json` baseline at the repository root
+//! (override the destination with `MICROSAMPLER_BENCH_OUT`). Every thread
+//! count asserts the same rendered analysis report, so a scaling win can
+//! never come from computing a different answer.
+
+use criterion::{BenchmarkId, Criterion};
+use microsampler_bench::run_modexp_iterations;
+use microsampler_core::analyze;
+use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_obs::Value;
+use microsampler_sim::CoreConfig;
+use std::time::{Duration, Instant};
+
+const KEYS: usize = 8;
+const KEY_BYTES: usize = 1;
+const SEED: u64 = 2024;
+const SAMPLES: usize = 5;
+
+fn pipeline() -> String {
+    let iters = run_modexp_iterations(
+        ModexpVariant::V1MicroarchVuln,
+        &CoreConfig::mega_boom(),
+        KEYS,
+        KEY_BYTES,
+        SEED,
+    );
+    analyze(&iters).to_json().render_compact()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4, microsampler_par::available()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(SAMPLES);
+    let counts = thread_counts();
+    let mut stats: Vec<(usize, Duration, Duration)> = Vec::new();
+    let mut reference: Option<String> = None;
+    for &threads in &counts {
+        microsampler_par::set_threads(Some(threads));
+        let mut samples: Vec<Duration> = Vec::new();
+        group.bench_function(BenchmarkId::new("me_v1_mv_pipeline", threads), |b| {
+            b.iter(|| {
+                let start = Instant::now();
+                let report = pipeline();
+                samples.push(start.elapsed());
+                match &reference {
+                    Some(r) => assert_eq!(&report, r, "report diverged at {threads} threads"),
+                    None => reference = Some(report),
+                }
+            })
+        });
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        stats.push((threads, min, mean));
+    }
+    group.finish();
+    microsampler_par::set_threads(None);
+    write_baseline(&stats);
+}
+
+fn write_baseline(stats: &[(usize, Duration, Duration)]) {
+    let base = stats.iter().find(|(t, ..)| *t == 1).map(|&(_, _, mean)| mean);
+    let rows: Vec<Value> = stats
+        .iter()
+        .map(|&(threads, min, mean)| {
+            let speedup = match base {
+                Some(b) if mean.as_nanos() > 0 => b.as_nanos() as f64 / mean.as_nanos() as f64,
+                _ => 1.0,
+            };
+            Value::object()
+                .field("threads", threads)
+                .field("min_ns", min.as_nanos() as u64)
+                .field("mean_ns", mean.as_nanos() as u64)
+                .field("speedup_vs_1", speedup)
+                .build()
+        })
+        .collect();
+    let report = Value::object()
+        .field("schema", "microsampler-bench-parallel-v1")
+        .field("pipeline", "me_v1_mv")
+        .field("keys", KEYS)
+        .field("key_bytes", KEY_BYTES)
+        .field("samples", SAMPLES)
+        .field("host_available_parallelism", microsampler_par::available())
+        .field("results", Value::Array(rows))
+        .build();
+    let path: std::path::PathBuf = match std::env::var_os("MICROSAMPLER_BENCH_OUT") {
+        Some(p) => p.into(),
+        None => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_parallel.json"),
+    };
+    std::fs::write(&path, report.render_pretty()).expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+}

@@ -2,10 +2,15 @@
 //!
 //! ```text
 //! repro <experiment>... [--keys N] [--key-bytes N] [--reps N]
-//!                       [--trials N] [--seed N] [--full] [--json DIR]
+//!                       [--trials N] [--seed N] [--threads N]
+//!                       [--full] [--json DIR]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
+//!
+//! `--threads N` sizes the worker pool for trial fan-out and analysis
+//! (default: the `MICROSAMPLER_THREADS` env var, else every available
+//! core). Results are bit-identical at any thread count.
 //!
 //! With `--json DIR`, each experiment additionally writes
 //! `DIR/<experiment>.json`: a stable-schema run report carrying the
@@ -62,6 +67,19 @@ fn main() -> ExitCode {
             "--reps" => scale.memcmp_reps = take_num(&mut i),
             "--trials" => scale.primitive_trials = take_num(&mut i),
             "--seed" => scale.seed = take_num(&mut i) as u64,
+            "--threads" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| fail("expected a number after --threads"));
+                match raw.parse::<usize>() {
+                    Ok(0) => fail("--threads must be at least 1"),
+                    // set_threads clamps absurd counts to the host's
+                    // available parallelism (with a warning).
+                    Ok(n) => microsampler_par::set_threads(Some(n)),
+                    Err(_) => fail(&format!(
+                        "invalid --threads value `{raw}`: expected a positive integer"
+                    )),
+                }
+            }
             "--full" => scale = Scale::full(),
             "--json" => {
                 i += 1;
@@ -120,6 +138,7 @@ fn main() -> ExitCode {
                 .field("schema", "microsampler-run-report-v1")
                 .field("experiment", w.as_str())
                 .field("scale", scale_to_json(&scale))
+                .field("threads", microsampler_par::threads())
                 .field("result", result)
                 .field("spans", span::nodes_to_json(&spans))
                 .field("metrics", metrics::snapshot_to_json(&snapshot))
@@ -145,10 +164,11 @@ fn fail(msg: &str) -> ! {
 fn usage() {
     eprintln!(
         "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] \
-         [--seed N] [--full] [--json DIR]"
+         [--seed N] [--threads N] [--full] [--json DIR]"
     );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
+    eprintln!("--threads N sizes the worker pool (default: MICROSAMPLER_THREADS or all cores)");
 }
 
 fn scale_to_json(s: &Scale) -> Value {

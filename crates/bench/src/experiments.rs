@@ -95,43 +95,42 @@ pub fn table5(scale: &Scale) -> Vec<Table5Row> {
     let analyzer = Analyzer::new();
     let primitives = Primitive::all();
     let total = primitives.len();
-    primitives
-        .into_iter()
-        .enumerate()
-        .map(|(idx, prim)| {
-            diag::progress("table5", idx + 1, total);
-            let first = prim
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    // The 27 primitives are independent audits (each with its own
+    // escalation loop); fan them out and keep the rows in table order.
+    microsampler_par::map(&primitives, |_, prim| {
+        let first = prim
+            .run(
+                CoreConfig::mega_boom(),
+                scale.primitive_trials,
+                scale.seed,
+                TraceConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+        let mut functional_ok = first.functional_ok;
+        let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
+            let extra = prim
                 .run(
                     CoreConfig::mega_boom(),
-                    scale.primitive_trials,
-                    scale.seed,
+                    scale.primitive_trials * 2,
+                    scale.seed + round as u64 * 7919,
                     TraceConfig::default(),
                 )
                 .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
-            let mut functional_ok = first.functional_ok;
-            let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
-                let extra = prim
-                    .run(
-                        CoreConfig::mega_boom(),
-                        scale.primitive_trials * 2,
-                        scale.seed + round as u64 * 7919,
-                        TraceConfig::default(),
-                    )
-                    .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
-                functional_ok &= extra.functional_ok;
-                extra.result.iterations
-            });
-            let max_v =
-                outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
-            Table5Row {
-                name: prim.name.to_owned(),
-                leak_identified: outcome.report.is_leaky(),
-                functional_ok,
-                max_v,
-                escalation_rounds: outcome.rounds,
-            }
-        })
-        .collect()
+            functional_ok &= extra.functional_ok;
+            extra.result.iterations
+        });
+        let max_v = outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
+        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        diag::progress("table5", finished, total);
+        Table5Row {
+            name: prim.name.to_owned(),
+            leak_identified: outcome.report.is_leaky(),
+            functional_ok,
+            max_v,
+            escalation_rounds: outcome.rounds,
+        }
+    })
 }
 
 /// Table VI: per-stage analysis-time breakdown, following the paper's
@@ -341,12 +340,12 @@ pub fn fig6(scale: &Scale) -> Fig6 {
         microsampler_kernels::inputs::random_keys(scale.keys.min(4), scale.key_bytes, scale.seed);
     let run = |warm: bool| {
         let kernel = Fig6Kernel::new(warm, scale.key_bytes);
-        let mut iters = Vec::new();
-        for key in &keys {
+        let per_key = microsampler_par::map(&keys, |_, key| {
             let r = kernel.run(CoreConfig::mega_boom(), key).expect("fig6 kernel runs");
             assert_eq!(r.exit_code, kernel.reference(key), "fig6 functional check");
-            iters.extend(r.iterations);
-        }
+            r.iterations
+        });
+        let iters: Vec<_> = per_key.into_iter().flatten().collect();
         split_cycles(&iters)
     };
     Fig6 { cold: run(false), warm: run(true) }
@@ -422,9 +421,11 @@ pub fn fig10(scale: &Scale) -> Fig10 {
     let equal_pc = program.symbol_addr("equal_fn");
     let inequal_pc = program.symbol_addr("inequal_fn");
     let config = CoreConfig::mega_boom().with_random_bpred(scale.seed | 1);
-    let (result, outputs) = MemcmpKernel
-        .run_with_outputs(config, &trials, TraceConfig::default())
-        .expect("memcmp runs");
+    // One long machine run — no trial fan-out possible, so shard the
+    // snapshot hashing instead (threads: 0 = auto-size from the pool).
+    let trace = TraceConfig { threads: 0, ..TraceConfig::default() };
+    let (result, outputs) =
+        MemcmpKernel.run_with_outputs(config, &trials, trace).expect("memcmp runs");
     for (t, &o) in trials.iter().zip(&outputs) {
         assert_eq!(o, MemcmpKernel.reference(t), "memcmp functional check");
     }
@@ -517,10 +518,9 @@ pub fn fig4_with_pressure(scale: &Scale) -> AnalysisReport {
     let keys =
         microsampler_kernels::inputs::random_keys(scale.keys.min(4), scale.key_bytes, scale.seed);
     let kernel = Fig6Kernel::new(false, scale.key_bytes);
-    let mut iters = Vec::new();
-    for key in &keys {
-        let r = kernel.run(CoreConfig::mega_boom(), key).expect("kernel runs");
-        iters.extend(r.iterations);
-    }
+    let per_key = microsampler_par::map(&keys, |_, key| {
+        kernel.run(CoreConfig::mega_boom(), key).expect("kernel runs").iterations
+    });
+    let iters: Vec<_> = per_key.into_iter().flatten().collect();
     analyze(&iters)
 }

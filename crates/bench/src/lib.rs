@@ -46,6 +46,11 @@ impl Scale {
 /// Runs a modexp variant over `n_keys` random keys and returns the pooled
 /// labeled iterations.
 ///
+/// The per-key trials are independent and fan out across the
+/// [`microsampler_par`] worker pool; the pooled iterations are
+/// concatenated in key order, so the result is bit-identical to a serial
+/// sweep at every thread count.
+///
 /// # Panics
 ///
 /// Panics if a kernel fails to assemble or simulate, or if the simulated
@@ -58,16 +63,18 @@ pub fn run_modexp_iterations(
     seed: u64,
 ) -> Vec<IterationTrace> {
     let kernel = ModexpKernel::new(variant, key_bytes);
-    let mut iterations = Vec::new();
-    for (idx, key) in random_keys(n_keys, key_bytes, seed).iter().enumerate() {
-        microsampler_obs::diag::progress(variant.name(), idx + 1, n_keys);
+    let keys = random_keys(n_keys, key_bytes, seed);
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let per_key = microsampler_par::map(&keys, |_, key| {
         let run = kernel
             .run(config.clone(), key, TraceConfig::default())
             .unwrap_or_else(|e| panic!("{} failed: {e}", variant.name()));
         assert_eq!(run.exit_code, kernel.reference(key), "{} functional check", variant.name());
-        iterations.extend(run.iterations);
-    }
-    iterations
+        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        microsampler_obs::diag::progress(variant.name(), finished, n_keys);
+        run.iterations
+    });
+    per_key.into_iter().flatten().collect()
 }
 
 /// Runs and analyzes a modexp variant (the common shape of Figs. 3/4/7/9).

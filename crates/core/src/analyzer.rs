@@ -40,17 +40,19 @@ impl Analyzer {
     }
 
     /// Analyzes all sixteen tracked units.
+    ///
+    /// The per-unit work (two contingency builds + associations) fans out
+    /// across the [`microsampler_par`] worker pool; each unit reads only
+    /// its own snapshot hashes, and results are assembled in canonical
+    /// unit order, so the report is bit-identical at every thread count.
     pub fn analyze(&self, iterations: &[IterationTrace]) -> AnalysisReport {
         let _span = microsampler_obs::span::span("correlate");
         let classes: BTreeSet<u64> = iterations.iter().map(|i| i.label).collect();
-        let units = UnitId::ALL
-            .iter()
-            .map(|&unit| UnitReport {
-                unit,
-                assoc: self.contingency(iterations, unit, false).association(),
-                assoc_timeless: self.contingency(iterations, unit, true).association(),
-            })
-            .collect();
+        let units = microsampler_par::map(&UnitId::ALL, |_, &unit| UnitReport {
+            unit,
+            assoc: self.contingency(iterations, unit, false).association(),
+            assoc_timeless: self.contingency(iterations, unit, true).association(),
+        });
         AnalysisReport { units, iterations: iterations.len(), classes: classes.len() }
     }
 
@@ -205,6 +207,24 @@ mod tests {
                 synthetic(0, Some(UnitId::SqPc))
             });
         assert!(outcome.rounds <= 3);
+    }
+
+    #[test]
+    fn analysis_identical_at_every_thread_count() {
+        let iters = synthetic(25, Some(UnitId::LfbAddr));
+        microsampler_par::set_threads(Some(1));
+        let serial = analyze(&iters);
+        for threads in [2, 7, 16] {
+            microsampler_par::set_threads(Some(threads));
+            let parallel = analyze(&iters);
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(
+                parallel.to_json().render_compact(),
+                serial.to_json().render_compact(),
+                "threads={threads}"
+            );
+        }
+        microsampler_par::set_threads(None);
     }
 
     #[test]

@@ -173,6 +173,26 @@ pub fn merge(forest: Vec<SpanNode>) {
     COLLECTOR.with(|c| merge_into(&mut c.borrow_mut().roots, forest));
 }
 
+/// Merges a forest under the innermost *open* span of the current thread
+/// (or at the root level if no span is open), aggregating nodes with
+/// matching names. This is how a worker pool attributes spans recorded on
+/// worker threads to the pipeline stage that spawned them: each worker
+/// drains its own tree with [`take`] and the caller re-attaches the
+/// forests here, so e.g. a `simulate` span closed on a worker still shows
+/// up under the caller's open `table6` span.
+///
+/// Runs regardless of [`enabled`] (the nodes were already paid for).
+pub fn merge_under_current(forest: Vec<SpanNode>) {
+    if forest.is_empty() {
+        return;
+    }
+    COLLECTOR.with(|c| {
+        let mut col = c.borrow_mut();
+        let path = col.stack.clone();
+        merge_into(Collector::children_at(&mut col.roots, &path), forest);
+    });
+}
+
 fn merge_into(dst: &mut Vec<SpanNode>, src: Vec<SpanNode>) {
     for node in src {
         match dst.iter_mut().find(|d| d.name == node.name) {
@@ -303,6 +323,38 @@ mod tests {
         assert_eq!(tree[0].count, 2);
         assert!(tree[0].child("b").is_some());
         assert!(tree[0].child("c").is_some());
+    }
+
+    #[test]
+    fn merge_under_current_attaches_to_open_span() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        // Simulate a worker tree drained on another thread…
+        with_span("simulate", || ());
+        let worker_forest = take();
+        // …and re-attach it while a pipeline span is open.
+        {
+            let _stage = span("stage");
+            merge_under_current(worker_forest);
+        }
+        let tree = take();
+        set_enabled(false);
+        assert_eq!(find(&tree, "stage/simulate").unwrap().count, 1);
+        assert!(find(&tree, "simulate").is_none(), "must not land at the root");
+    }
+
+    #[test]
+    fn merge_under_current_without_open_span_merges_at_root() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        take();
+        with_span("simulate", || ());
+        let forest = take();
+        merge_under_current(forest);
+        let tree = take();
+        set_enabled(false);
+        assert_eq!(find(&tree, "simulate").unwrap().count, 1);
     }
 
     #[test]

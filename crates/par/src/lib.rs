@@ -1,0 +1,443 @@
+//! Dependency-free data-parallel execution for the MicroSampler pipeline.
+//!
+//! The paper's workload is dominated by embarrassingly parallel work:
+//! independent simulated trials (per key, per primitive, per escalation
+//! round), per-unit snapshot-hash folding, and per-unit statistical
+//! analysis. This crate provides the one primitive all three layers share:
+//! a scoped `std::thread` worker pool ([`map`] / [`map_mut`]) with
+//!
+//! * a chunked work-stealing queue (workers grab index ranges from a shared
+//!   atomic cursor, so uneven task costs still balance),
+//! * **deterministic result ordering** — results are returned in input
+//!   order regardless of which worker computed them or when,
+//! * panic propagation — a panicking task panics the caller after all
+//!   workers have been joined (no orphaned threads, no swallowed errors),
+//! * nesting protection — a [`map`] issued from inside a worker runs
+//!   serially inline, so parallel harness loops can call parallel library
+//!   code without spawning `workers²` threads,
+//! * telemetry integration — `par.tasks` / `par.workers` / `par.steal`
+//!   metrics per pool run, and spans recorded on worker threads re-attached
+//!   under the caller's open span (each worker's busy time shows up as a
+//!   `par.worker` node).
+//!
+//! # Thread-count resolution
+//!
+//! [`threads`] resolves, in priority order: the process-wide programmatic
+//! override ([`set_threads`], used by `repro --threads N`), the
+//! `MICROSAMPLER_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. Invalid environment values (zero
+//! or non-numeric) are diagnosed and ignored; absurd values (above
+//! [`MAX_THREADS`]) are clamped to the machine's available parallelism.
+//!
+//! Determinism is a hard guarantee, not a configuration: any computation
+//! built from pure per-item functions produces bit-identical results at
+//! every thread count, enforced by the workspace's determinism tests.
+//!
+//! # Example
+//!
+//! ```
+//! microsampler_par::set_threads(Some(4));
+//! let squares = microsampler_par::map(&[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! microsampler_par::set_threads(None);
+//! ```
+
+use microsampler_obs::{diag_warn, metrics, span};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Upper bound on accepted thread counts; anything above this is treated
+/// as a configuration mistake and clamped to [`available`].
+pub const MAX_THREADS: usize = 256;
+
+const ENV_UNRESOLVED: usize = usize::MAX;
+
+/// Programmatic override (0 = none set).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Cached `MICROSAMPLER_THREADS` resolution (0 = unset/invalid).
+static ENV: AtomicUsize = AtomicUsize::new(ENV_UNRESOLVED);
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Installs (`Some(n)`) or clears (`None`) the process-wide thread-count
+/// override. Takes precedence over `MICROSAMPLER_THREADS`. `Some(0)` is
+/// treated as 1 and values above [`MAX_THREADS`] are clamped to
+/// [`available`], with a diagnostic; callers wanting a hard error (the
+/// `repro` CLI) must validate before calling.
+pub fn set_threads(n: Option<usize>) {
+    let resolved = match n {
+        None => 0,
+        Some(0) => {
+            diag_warn!("thread count 0 requested; running serially");
+            1
+        }
+        Some(n) if n > MAX_THREADS => {
+            let avail = available();
+            diag_warn!("thread count {n} exceeds MAX_THREADS={MAX_THREADS}; clamping to {avail}");
+            avail
+        }
+        Some(n) => n,
+    };
+    OVERRIDE.store(resolved, Ordering::Relaxed);
+}
+
+fn env_threads() -> usize {
+    let cached = ENV.load(Ordering::Relaxed);
+    if cached != ENV_UNRESOLVED {
+        return cached;
+    }
+    let resolved = match std::env::var("MICROSAMPLER_THREADS") {
+        Err(_) => 0,
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => {
+                diag_warn!("ignoring invalid MICROSAMPLER_THREADS={v:?} (want a positive integer)");
+                0
+            }
+            Ok(n) if n > MAX_THREADS => {
+                let avail = available();
+                diag_warn!("MICROSAMPLER_THREADS={n} exceeds MAX_THREADS={MAX_THREADS}; clamping to {avail}");
+                avail
+            }
+            Ok(n) => n,
+        },
+    };
+    ENV.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// The effective worker count: [`set_threads`] override, else
+/// `MICROSAMPLER_THREADS`, else [`available`].
+pub fn threads() -> usize {
+    let explicit = OVERRIDE.load(Ordering::Relaxed);
+    if explicit != 0 {
+        return explicit;
+    }
+    let env = env_threads();
+    if env != 0 {
+        return env;
+    }
+    available()
+}
+
+/// Whether the current thread is a pool worker. [`map`] / [`map_mut`]
+/// called from a worker run serially inline (nesting protection).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Resolves an explicit per-call request (`0` = use [`threads`]),
+/// clamping absurd values like [`set_threads`] does.
+pub fn resolve(requested: usize) -> usize {
+    match requested {
+        0 => threads(),
+        n if n > MAX_THREADS => available(),
+        n => n,
+    }
+}
+
+/// Chunk size targeting ~4 grabs per worker, so slow chunks can be
+/// balanced by stealing without paying one cursor bump per item.
+fn chunk_size(tasks: usize, workers: usize) -> usize {
+    (tasks / (workers * 4)).max(1)
+}
+
+/// Applies `f` to every item and returns the results **in input order**.
+///
+/// Runs on the pool sized by [`threads`]; falls back to a serial inline
+/// loop when the pool would not help (one item, one thread, or already on
+/// a worker).
+///
+/// # Panics
+///
+/// Re-raises the panic of any task after all workers have been joined.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    map_with(0, items, f)
+}
+
+/// [`map`] with an explicit worker count (`0` = resolve via [`threads`]).
+/// Lets a caller carry its own configuration (e.g. the tracer's
+/// `TraceConfig::threads`) without touching the process-wide override.
+pub fn map_with<T, R, F>(threads_requested: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve(threads_requested).min(items.len());
+    if workers <= 1 || in_worker() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    run_pool(items.len(), workers, |i| f(i, &items[i]))
+}
+
+struct SyncPtr<T>(*mut T);
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+// SAFETY: the pool's stealing cursor hands every index to exactly one
+// worker, so concurrent `&mut` access through the pointer never aliases.
+unsafe impl<T: Send> Send for SyncPtr<T> {}
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
+
+/// [`map`] with mutable access to each item (e.g. draining per-unit row
+/// buffers into their hashers). Same ordering, stealing, nesting and
+/// panic semantics.
+pub fn map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    map_mut_with(0, items, f)
+}
+
+/// [`map_mut`] with an explicit worker count (`0` = resolve via
+/// [`threads`]).
+pub fn map_mut_with<T, R, F>(threads_requested: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let workers = resolve(threads_requested).min(items.len());
+    if workers <= 1 || in_worker() {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let base = SyncPtr(items.as_mut_ptr());
+    let n = items.len();
+    run_pool(n, workers, move |i| {
+        // Capture the `SyncPtr` wrapper, not the raw pointer field, so the
+        // closure stays `Sync` under edition-2021 disjoint capture.
+        let base = base;
+        debug_assert!(i < n);
+        // SAFETY: i < n, and the cursor assigns each index to one worker.
+        let item = unsafe { &mut *base.0.add(i) };
+        f(i, item)
+    })
+}
+
+/// The scoped pool core: `workers` threads steal chunked index ranges
+/// from a shared cursor, stash `(index, result)` pairs locally, and the
+/// caller scatters them back into input order.
+fn run_pool<R, F>(tasks: usize, workers: usize, task: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let chunk = chunk_size(tasks, workers);
+    let cursor = AtomicUsize::new(0);
+    let steals = AtomicUsize::new(0);
+    let collect_spans = span::enabled();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(tasks);
+    slots.resize_with(tasks, || None);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (cursor, steals, task) = (&cursor, &steals, &task);
+                s.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    let worker_span = span::span("par.worker");
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut grabs = 0usize;
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= tasks {
+                            break;
+                        }
+                        grabs += 1;
+                        for i in start..(start + chunk).min(tasks) {
+                            local.push((i, task(i)));
+                        }
+                    }
+                    steals.fetch_add(grabs.saturating_sub(1), Ordering::Relaxed);
+                    drop(worker_span);
+                    let forest = if collect_spans { span::take() } else { Vec::new() };
+                    (local, forest)
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok((local, forest)) => {
+                    for (i, r) in local {
+                        slots[i] = Some(r);
+                    }
+                    span::merge_under_current(forest);
+                }
+                // Propagate the first worker panic; `thread::scope` still
+                // joins the remaining workers before unwinding past it.
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    metrics::record_batch(
+        "par",
+        &[
+            ("tasks", tasks as f64),
+            ("workers", workers as f64),
+            ("steal", steals.load(Ordering::Relaxed) as f64),
+        ],
+    );
+    slots.into_iter().map(|r| r.expect("every index executed by exactly one worker")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The override and the obs registries are process-global; serialize
+    // every test that touches them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        set_threads(Some(n));
+        let out = f();
+        set_threads(None);
+        out
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let _l = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..101).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 7, 32] {
+            let par = with_threads(threads, || map(&items, |_, &x| x * 3 + 1));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_passes_matching_indices() {
+        let _l = LOCK.lock().unwrap();
+        let items = vec![10u64, 11, 12, 13, 14];
+        let pairs = with_threads(3, || map(&items, |i, &x| (i as u64, x)));
+        for (i, (idx, x)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*x, items[i]);
+        }
+    }
+
+    #[test]
+    fn map_mut_updates_every_item_once() {
+        let _l = LOCK.lock().unwrap();
+        let mut items: Vec<u64> = vec![0; 57];
+        let returned = with_threads(4, || {
+            map_mut(&mut items, |i, slot| {
+                *slot += i as u64 + 1;
+                *slot
+            })
+        });
+        let want: Vec<u64> = (0..57).map(|i| i + 1).collect();
+        assert_eq!(items, want);
+        assert_eq!(returned, want);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let _l = LOCK.lock().unwrap();
+        let empty: [u64; 0] = [];
+        assert!(with_threads(4, || map(&empty, |_, &x| x)).is_empty());
+        assert_eq!(with_threads(4, || map(&[9u64], |_, &x| x + 1)), vec![10]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _l = LOCK.lock().unwrap();
+        let items: Vec<usize> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                map(&items, |_, &x| {
+                    assert!(x != 11, "task 11 exploded");
+                    x
+                })
+            })
+        });
+        assert!(result.is_err(), "panic must reach the caller");
+        set_threads(None); // with_threads unwound before restoring
+    }
+
+    #[test]
+    fn nested_map_runs_inline() {
+        let _l = LOCK.lock().unwrap();
+        let outer: Vec<u64> = (0..4).collect();
+        let matrix = with_threads(4, || {
+            map(&outer, |_, &row| {
+                assert!(in_worker());
+                let inner: Vec<u64> = (0..8).collect();
+                // Must not spawn a second pool layer; runs serially inline.
+                map(&inner, move |_, &col| row * 100 + col)
+            })
+        });
+        assert_eq!(matrix[2][5], 205);
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn thread_count_resolution_and_clamping() {
+        let _l = LOCK.lock().unwrap();
+        set_threads(Some(7));
+        assert_eq!(threads(), 7);
+        set_threads(Some(MAX_THREADS + 1));
+        assert_eq!(threads(), available(), "absurd values clamp to available_parallelism");
+        set_threads(Some(0));
+        assert_eq!(threads(), 1, "zero is treated as serial");
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn pool_records_metrics() {
+        let _l = LOCK.lock().unwrap();
+        metrics::set_enabled(true);
+        metrics::reset();
+        let items: Vec<u64> = (0..64).collect();
+        with_threads(4, || map(&items, |_, &x| x));
+        let snap = metrics::snapshot();
+        metrics::set_enabled(false);
+        metrics::reset();
+        let get = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, a)| a.last);
+        assert_eq!(get("par.tasks"), Some(64.0));
+        assert_eq!(get("par.workers"), Some(4.0));
+        assert!(get("par.steal").is_some());
+    }
+
+    #[test]
+    fn worker_spans_merge_under_caller_span() {
+        let _l = LOCK.lock().unwrap();
+        span::set_enabled(true);
+        span::take();
+        {
+            let _stage = span::span("stage");
+            let items: Vec<u64> = (0..32).collect();
+            with_threads(4, || {
+                map(&items, |_, &x| {
+                    span::with_span("task", || x);
+                })
+            });
+        }
+        let tree = span::take();
+        span::set_enabled(false);
+        let stage = span::find(&tree, "stage").expect("stage span recorded");
+        let worker = stage.child("par.worker").expect("worker spans under the caller's span");
+        assert!(worker.count >= 1);
+        assert_eq!(span::find(&tree, "stage/par.worker/task").unwrap().count, 32);
+    }
+}

@@ -120,6 +120,9 @@ impl Machine {
         };
         let mut stats = self.core.stats.clone();
         stats.cycles = self.core.cycle;
+        // A program can exit without committing SCR_END; fold any sharded
+        // hashing work still deferred before handing the traces out.
+        self.core.tracer.finalize();
         let iterations = std::mem::take(&mut self.core.tracer.iterations);
         self.export_metrics(&stats, iterations.len());
         Ok(RunResult { cycles: self.core.cycle, exit_code, iterations, stats })

@@ -129,11 +129,23 @@ pub struct TraceConfig {
     pub hash_key: (u64, u64),
     /// Use SipHash-1-3 (CPython's default) when true, SipHash-2-4 otherwise.
     pub sip13: bool,
+    /// Snapshot-hash sharding: `1` (default) folds rows into the per-unit
+    /// hashers as they arrive; `0` shards the folding across
+    /// [`microsampler_par::threads`] workers; `N > 1` uses exactly `N`.
+    /// Sharding buffers rows and folds per unit at `SCR_END` (or
+    /// [`Tracer::finalize`]), so every hash, feature set and matrix is
+    /// **bit-identical** to the serial fold — only the wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for TraceConfig {
     fn default() -> TraceConfig {
-        TraceConfig { keep_matrices: false, hash_key: (0x4d53_4d50, 0x4c52_5f31), sip13: true }
+        TraceConfig {
+            keep_matrices: false,
+            hash_key: (0x4d53_4d50, 0x4c52_5f31),
+            sip13: true,
+            threads: 1,
+        }
     }
 }
 
@@ -199,10 +211,13 @@ struct UnitBuilder {
     order: Vec<u64>,
     rows: Option<Vec<Vec<u64>>>,
     cycle_rows: u64,
+    /// Length-prefixed rows awaiting [`UnitBuilder::drain_pending`]
+    /// (sharded-hashing mode only; `None` folds eagerly).
+    pending: Option<Vec<u64>>,
 }
 
 impl UnitBuilder {
-    fn new(cfg: &TraceConfig) -> UnitBuilder {
+    fn new(cfg: &TraceConfig, deferred: bool) -> UnitBuilder {
         UnitBuilder {
             hasher: cfg.hasher(),
             timeless_hasher: cfg.hasher(),
@@ -211,33 +226,69 @@ impl UnitBuilder {
             order: Vec::new(),
             rows: cfg.keep_matrices.then(Vec::new),
             cycle_rows: 0,
+            pending: deferred.then(Vec::new),
         }
     }
 
-    /// Folds one row in; returns the number of bytes fed to the hashers.
+    /// Accepts one row: buffers it in sharded mode, folds it immediately
+    /// otherwise. Returns the number of bytes fed to the hashers (0 while
+    /// buffering; the fold reports them from the worker instead).
     fn push_row(&mut self, row: &[u64]) -> u64 {
+        if let Some(pending) = &mut self.pending {
+            pending.push(row.len() as u64);
+            pending.extend_from_slice(row);
+            return 0;
+        }
+        self.fold_row(row)
+    }
+
+    /// Folds one row into the hash/feature accumulators; returns the
+    /// number of bytes fed to the hashers.
+    fn fold_row(&mut self, row: &[u64]) -> u64 {
         self.cycle_rows += 1;
         let row_bytes = 8 * (row.len() as u64 + 1);
         let mut hashed = row_bytes;
         self.hasher.write_u64(row.len() as u64);
-        for &v in row {
-            self.hasher.write_u64(v);
-        }
-        if self.last_row.as_deref() != Some(row) {
+        if self.last_row.as_deref() == Some(row) {
+            // Unchanged row: the timeless hasher consolidates it away, and
+            // its values are already in the feature set (they were inserted
+            // when this row content first appeared), so one traversal
+            // feeding the full hasher suffices.
+            for &v in row {
+                self.hasher.write_u64(v);
+            }
+        } else {
             self.timeless_hasher.write_u64(row.len() as u64);
             for &v in row {
+                self.hasher.write_u64(v);
                 self.timeless_hasher.write_u64(v);
+                if v != 0 && self.features.insert(v) {
+                    self.order.push(v);
+                }
             }
-            self.last_row = Some(row.to_vec());
+            match &mut self.last_row {
+                Some(last) if last.len() == row.len() => last.copy_from_slice(row),
+                last => *last = Some(row.to_vec()),
+            }
             hashed += row_bytes;
-        }
-        for &v in row {
-            if v != 0 && self.features.insert(v) {
-                self.order.push(v);
-            }
         }
         if let Some(rows) = &mut self.rows {
             rows.push(row.to_vec());
+        }
+        hashed
+    }
+
+    /// Folds every buffered row (sharded mode); returns the bytes hashed.
+    /// Runs on a pool worker — touches only this builder's state.
+    fn drain_pending(&mut self) -> u64 {
+        let Some(pending) = self.pending.take() else { return 0 };
+        let mut hashed = 0;
+        let mut i = 0;
+        while i < pending.len() {
+            let len = pending[i] as usize;
+            i += 1;
+            hashed += self.fold_row(&pending[i..i + len]);
+            i += len;
         }
         hashed
     }
@@ -261,12 +312,31 @@ struct InProgress {
     units: Vec<UnitBuilder>,
 }
 
+/// A completed iteration whose unit builders still hold buffered rows
+/// (sharded-hashing mode); folded in bulk by [`Tracer::finalize`].
+struct PendingIteration {
+    label: u64,
+    start_cycle: u64,
+    end_cycle: u64,
+    units: Vec<UnitBuilder>,
+}
+
 /// Collects per-cycle unit rows into labeled [`IterationTrace`]s,
 /// optionally also emitting the text log format.
+///
+/// With [`TraceConfig::threads`] ≠ 1 the per-unit snapshot folding is
+/// **sharded**: rows are buffered per unit and folded across a worker pool
+/// when the security-critical region closes (`SCR_END` commit or
+/// [`Tracer::finalize`]), producing bit-identical summaries. Until then,
+/// [`Tracer::iterations`] only holds already-folded iterations.
 pub struct Tracer {
     cfg: TraceConfig,
     in_scr: bool,
     current: Option<InProgress>,
+    /// Completed-but-unfolded iterations in commit order (sharded mode).
+    deferred: Vec<PendingIteration>,
+    /// `cfg.threads != 1`: buffer rows and fold on the pool.
+    sharded: bool,
     /// Completed iterations in commit order.
     pub iterations: Vec<IterationTrace>,
     /// Unit rows sampled so far (telemetry volume counter).
@@ -282,10 +352,13 @@ pub struct Tracer {
 impl Tracer {
     /// Creates a tracer.
     pub fn new(cfg: TraceConfig) -> Tracer {
+        let sharded = cfg.threads != 1 && microsampler_par::resolve(cfg.threads) > 1;
         Tracer {
             cfg,
             in_scr: false,
             current: None,
+            deferred: Vec::new(),
+            sharded,
             iterations: Vec::new(),
             rows_sampled: 0,
             hash_bytes: 0,
@@ -317,23 +390,26 @@ impl Tracer {
         }
     }
 
-    /// Handles an `SCR_END` marker commit.
+    /// Handles an `SCR_END` marker commit. In sharded mode this is where
+    /// the buffered rows of the region's iterations are folded.
     pub fn scr_end(&mut self, cycle: u64) {
         self.in_scr = false;
         if let Some(log) = &mut self.log {
             log.push_str(&format!("M SCR_END {cycle}\n"));
         }
+        self.finalize();
     }
 
     /// Handles an `ITER_START` marker commit. An unterminated previous
     /// iteration is finalized first.
     pub fn iter_start(&mut self, cycle: u64, label: u64) {
         self.iter_end(cycle);
+        let sharded = self.sharded;
         self.current = Some(InProgress {
             label,
             start_cycle: cycle,
             last_cycle: cycle,
-            units: (0..UnitId::COUNT).map(|_| UnitBuilder::new(&self.cfg)).collect(),
+            units: (0..UnitId::COUNT).map(|_| UnitBuilder::new(&self.cfg, sharded)).collect(),
         });
         if let Some(log) = &mut self.log {
             log.push_str(&format!("M ITER_START {cycle} {label}\n"));
@@ -343,15 +419,54 @@ impl Tracer {
     /// Handles an `ITER_END` marker commit.
     pub fn iter_end(&mut self, cycle: u64) {
         if let Some(cur) = self.current.take() {
-            self.iterations.push(IterationTrace {
-                label: cur.label,
-                start_cycle: cur.start_cycle,
-                end_cycle: cur.last_cycle,
-                units: cur.units.into_iter().map(UnitBuilder::finish).collect(),
-            });
+            if self.sharded {
+                self.deferred.push(PendingIteration {
+                    label: cur.label,
+                    start_cycle: cur.start_cycle,
+                    end_cycle: cur.last_cycle,
+                    units: cur.units,
+                });
+            } else {
+                self.iterations.push(IterationTrace {
+                    label: cur.label,
+                    start_cycle: cur.start_cycle,
+                    end_cycle: cur.last_cycle,
+                    units: cur.units.into_iter().map(UnitBuilder::finish).collect(),
+                });
+            }
             if let Some(log) = &mut self.log {
                 log.push_str(&format!("M ITER_END {cycle}\n"));
             }
+        }
+    }
+
+    /// Folds every deferred iteration's buffered rows across the worker
+    /// pool and appends the results to [`Tracer::iterations`] in commit
+    /// order. No-op in serial mode or when nothing is pending; idempotent.
+    /// Called automatically at `SCR_END`, by `Machine::run` teardown and by
+    /// [`parse_text_log`]; only needed directly when driving a [`Tracer`]
+    /// by hand in sharded mode without `SCR_END`.
+    pub fn finalize(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut pending = std::mem::take(&mut self.deferred);
+        // One fold task per (iteration, unit): wide units from different
+        // iterations balance across workers via chunked stealing. Each
+        // task touches one builder, so hashes cannot depend on schedule.
+        let mut builders: Vec<&mut UnitBuilder> =
+            pending.iter_mut().flat_map(|p| p.units.iter_mut()).collect();
+        let hashed = microsampler_par::map_mut_with(self.cfg.threads, &mut builders, |_, b| {
+            b.drain_pending()
+        });
+        self.hash_bytes += hashed.iter().sum::<u64>();
+        for p in pending {
+            self.iterations.push(IterationTrace {
+                label: p.label,
+                start_cycle: p.start_cycle,
+                end_cycle: p.end_cycle,
+                units: p.units.into_iter().map(UnitBuilder::finish).collect(),
+            });
         }
     }
 
@@ -461,6 +576,8 @@ pub fn parse_text_log(text: &str, cfg: TraceConfig) -> Result<Vec<IterationTrace
     }
     // An unterminated trailing iteration (truncated log) is dropped, like
     // the live tracer drops an iteration whose ITER_END never commits.
+    // A truncated log can also miss SCR_END; fold any deferred work.
+    tracer.finalize();
     Ok(tracer.iterations)
 }
 
@@ -572,10 +689,10 @@ mod tests {
     #[test]
     fn rows_of_different_widths_hash_differently() {
         let cfg = TraceConfig::default();
-        let mut a = UnitBuilder::new(&cfg);
+        let mut a = UnitBuilder::new(&cfg, false);
         a.push_row(&[1, 0]);
         a.push_row(&[2, 0]);
-        let mut b = UnitBuilder::new(&cfg);
+        let mut b = UnitBuilder::new(&cfg, false);
         b.push_row(&[1, 0, 2, 0]);
         assert_ne!(a.finish().hash, b.finish().hash);
     }
@@ -583,11 +700,84 @@ mod tests {
     #[test]
     fn hash13_vs_24_differ() {
         let mut cfg = TraceConfig::default();
-        let mut a = UnitBuilder::new(&cfg);
+        let mut a = UnitBuilder::new(&cfg, false);
         a.push_row(&[5]);
         cfg.sip13 = false;
-        let mut b = UnitBuilder::new(&cfg);
+        let mut b = UnitBuilder::new(&cfg, false);
         b.push_row(&[5]);
         assert_ne!(a.finish().hash, b.finish().hash);
+    }
+
+    #[test]
+    fn deferred_builder_folds_identically() {
+        let cfg = TraceConfig::default();
+        let rows: [&[u64]; 4] = [&[1, 2, 0], &[1, 2, 0], &[3], &[0, 0, 7]];
+        let mut eager = UnitBuilder::new(&cfg, false);
+        let eager_bytes: u64 = rows.iter().map(|r| eager.push_row(r)).sum();
+        let mut deferred = UnitBuilder::new(&cfg, true);
+        for r in rows {
+            assert_eq!(deferred.push_row(r), 0, "buffering must not report hashed bytes");
+        }
+        assert_eq!(deferred.drain_pending(), eager_bytes);
+        assert_eq!(deferred.finish(), eager.finish());
+    }
+
+    /// Sharded hashing is an execution strategy, not a semantic: every
+    /// hash, feature set, ordering and counter must be bit-identical to
+    /// the serial fold at any worker count.
+    #[test]
+    fn sharded_tracer_matches_serial_exactly() {
+        let drive = |threads: usize| {
+            let mut t = Tracer::new(TraceConfig { threads, ..TraceConfig::default() });
+            t.scr_start(0);
+            for i in 0..6u64 {
+                t.iter_start(i * 10, i % 2);
+                for c in 0..5u64 {
+                    t.begin_cycle(i * 10 + c);
+                    for (u, unit) in UnitId::ALL.into_iter().enumerate() {
+                        t.record_row(unit, &[i * 100 + c, u as u64, c % 2]);
+                    }
+                }
+                t.iter_end(i * 10 + 6);
+            }
+            t.scr_end(100);
+            t
+        };
+        let serial = drive(1);
+        for threads in [2, 7, 64] {
+            let sharded = drive(threads);
+            assert_eq!(sharded.iterations, serial.iterations, "threads={threads}");
+            assert_eq!(sharded.hash_bytes, serial.hash_bytes, "threads={threads}");
+            assert_eq!(sharded.rows_sampled, serial.rows_sampled);
+        }
+    }
+
+    #[test]
+    fn sharded_finalize_is_idempotent_and_flushes_without_scr_end() {
+        let mut t = Tracer::new(TraceConfig { threads: 4, ..TraceConfig::default() });
+        t.scr_start(0);
+        t.iter_start(1, 3);
+        t.begin_cycle(2);
+        t.record_row(UnitId::SqAddr, &[0xabc]);
+        t.iter_end(3);
+        assert!(t.iterations.is_empty(), "fold deferred until finalize");
+        t.finalize();
+        assert_eq!(t.iterations.len(), 1);
+        assert_eq!(t.iterations[0].label, 3);
+        assert!(t.iterations[0].unit(UnitId::SqAddr).features.contains(&0xabc));
+        t.finalize();
+        assert_eq!(t.iterations.len(), 1, "second finalize must be a no-op");
+    }
+
+    #[test]
+    fn sharded_log_round_trip_matches_serial() {
+        let mut serial = sample_tracer(false);
+        serial.finalize();
+        let parsed = parse_text_log(
+            serial.log_text().unwrap(),
+            TraceConfig { threads: 5, ..TraceConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(parsed, serial.iterations);
     }
 }
