@@ -4,13 +4,23 @@
 //! repro <experiment>... [--keys N] [--key-bytes N] [--reps N]
 //!                       [--trials N] [--seed N] [--threads N]
 //!                       [--full] [--json DIR]
+//! repro lint [--all | <kernel>...] [--static] [--sarif FILE]
+//!            [--baseline FILE] [--trials N] [--seed N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
 //!
-//! `--threads N` sizes the worker pool for trial fan-out and analysis
-//! (default: the `MICROSAMPLER_THREADS` env var, else every available
-//! core). Results are bit-identical at any thread count.
+//! `--threads N` sizes the worker pool for trial fan-out and analysis.
+//! Precedence: the `--threads` flag wins over the `MICROSAMPLER_THREADS`
+//! env var, which wins over the default of every available core. Results
+//! are bit-identical at any thread count.
+//!
+//! `repro lint` runs the static constant-time taint analyzer
+//! (`microsampler-ct`) over Table V primitives and the seeded-leaky
+//! fixtures; `--all` additionally cross-validates the static verdicts
+//! against the dynamic statistical audit. Exit codes: 0 = clean,
+//! 3 = violations found, 1 = `--baseline` verdict mismatch,
+//! 2 = usage error.
 //!
 //! With `--json DIR`, each experiment additionally writes
 //! `DIR/<experiment>.json`: a stable-schema run report carrying the
@@ -19,7 +29,7 @@
 //! for trial-N-of-M heartbeats during long sweeps.
 
 use microsampler_bench::experiments as exp;
-use microsampler_bench::{print_cycle_histogram, print_v_chart, Scale};
+use microsampler_bench::{lint, print_cycle_histogram, print_v_chart, Scale};
 use microsampler_core::association_to_json;
 use microsampler_obs::{diag, diag_error, json, metrics, span, Value};
 use std::process::ExitCode;
@@ -50,6 +60,9 @@ fn main() -> ExitCode {
         diag::set_max_level(Some(diag::Level::Error));
     }
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("lint") {
+        return lint_main(&args[1..]);
+    }
     let mut scale = Scale::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut json_dir: Option<std::path::PathBuf> = None;
@@ -161,14 +174,166 @@ fn fail(msg: &str) -> ! {
     std::process::exit(2)
 }
 
+/// `repro lint [--all | <kernel>...] [--static] [--sarif FILE]
+/// [--baseline FILE] [--trials N] [--seed N] [--threads N]`.
+///
+/// Exit codes: 0 = all analyzed kernels are clean, 3 = constant-time
+/// violations were found, 1 = verdicts diverge from `--baseline`,
+/// 2 = usage error.
+fn lint_main(args: &[String]) -> ExitCode {
+    let mut scale = Scale::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut static_only = false;
+    let mut sarif_path: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_path = |i: &mut usize, flag: &str| -> std::path::PathBuf {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a path after {flag}"))).into()
+        };
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--static" => static_only = true,
+            "--sarif" => sarif_path = Some(take_path(&mut i, "--sarif")),
+            "--baseline" => baseline_path = Some(take_path(&mut i, "--baseline")),
+            "--trials" => scale.primitive_trials = take_num(&mut i),
+            "--seed" => scale.seed = take_num(&mut i) as u64,
+            "--threads" => match take_num(&mut i) {
+                0 => fail("--threads must be at least 1"),
+                n => microsampler_par::set_threads(Some(n)),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => names.push(other.to_owned()),
+            other => fail(&format!("unknown lint flag `{other}`")),
+        }
+        i += 1;
+    }
+    if all != names.is_empty() {
+        fail("lint takes either --all or at least one kernel name, not both");
+    }
+    if scale.primitive_trials == 0 {
+        fail("--trials must be at least 1");
+    }
+    let results = if all {
+        lint::lint_static_all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                lint::lint_one(n).unwrap_or_else(|| {
+                    fail(&format!(
+                        "unknown kernel `{n}` (expected a Table V primitive or a fixture; \
+                         see `repro lint --all`)"
+                    ))
+                })
+            })
+            .collect()
+    };
+    for r in &results {
+        print!("{}", r.report);
+    }
+    let leaky = results.iter().filter(|r| r.report.is_leaky()).count();
+    println!("linted {} kernels: {} clean, {} leaky", results.len(), results.len() - leaky, leaky);
+    if let Some(path) = &sarif_path {
+        let pairs: Vec<(&microsampler_ct::StaticReport, u64)> =
+            results.iter().map(|r| (&r.report, r.text_base)).collect();
+        let doc = microsampler_ct::sarif_document(&pairs);
+        if let Err(e) = std::fs::write(path, doc.render_pretty()) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+    }
+    // Cross-validate static vs dynamic verdicts over the real primitives
+    // (--all only; fixtures are static-only regression anchors).
+    if all && !static_only {
+        println!("\n== cross-validation: static taint vs dynamic audit ==");
+        let cross = lint::lint_crossval(&results, &scale);
+        print!("{cross}");
+    }
+    if let Some(path) = &baseline_path {
+        match check_baseline(path, &results) {
+            Ok(()) => println!("verdicts match {}", path.display()),
+            Err(msg) => {
+                diag_error!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if leaky > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Compares each result's static verdict against the checked-in baseline.
+///
+/// The baseline records verdicts only — they are deterministic and
+/// scale-independent, unlike violation counts or dynamic statistics.
+fn check_baseline(path: &std::path::Path, results: &[lint::LintResult]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let doc = json::parse(&text)
+        .map_err(|e| format!("baseline {} is not valid JSON: {e}", path.display()))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("microsampler-lint-baseline-v1") {
+        return Err(format!("baseline {} has an unexpected schema", path.display()));
+    }
+    let verdicts = doc
+        .get("verdicts")
+        .ok_or_else(|| format!("baseline {} lacks `verdicts`", path.display()))?;
+    let mut mismatches = Vec::new();
+    for r in results {
+        match verdicts.get(&r.name).and_then(Value::as_str) {
+            Some(expected) if expected == r.report.verdict() => {}
+            Some(expected) => mismatches.push(format!(
+                "{}: baseline says {expected}, analysis says {}",
+                r.name,
+                r.report.verdict()
+            )),
+            None => mismatches.push(format!("{}: missing from baseline", r.name)),
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("static verdicts diverge from baseline:\n  {}", mismatches.join("\n  ")))
+    }
+}
+
 fn usage() {
     eprintln!(
         "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] \
          [--seed N] [--threads N] [--full] [--json DIR]"
     );
+    eprintln!(
+        "       repro lint [--all | <kernel>...] [--static] [--sarif FILE] [--baseline FILE] \
+         [--trials N] [--seed N] [--threads N]"
+    );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
-    eprintln!("--threads N sizes the worker pool (default: MICROSAMPLER_THREADS or all cores)");
+    eprintln!(
+        "--threads N sizes the worker pool; precedence: --threads, then the \
+         MICROSAMPLER_THREADS env var, then all available cores"
+    );
+    eprintln!(
+        "lint statically checks kernels for constant-time violations; --all also \
+         cross-validates against the dynamic audit (skip with --static)"
+    );
+    eprintln!(
+        "lint exit codes: 0 = clean, 3 = violations found, 1 = --baseline verdict \
+         mismatch, 2 = usage error"
+    );
 }
 
 fn scale_to_json(s: &Scale) -> Value {

@@ -8,6 +8,7 @@
 //! approach paper scale.
 
 pub mod experiments;
+pub mod lint;
 
 use microsampler_core::{analyze, AnalysisReport};
 use microsampler_kernels::inputs::random_keys;

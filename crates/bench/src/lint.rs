@@ -1,0 +1,122 @@
+//! The `repro lint` backend: static constant-time analysis over every
+//! Table V primitive and seeded-leaky fixture, plus cross-validation of
+//! the static verdicts against the dynamic statistical audit.
+
+use crate::Scale;
+use microsampler_core::{Analyzer, CrossReport, CrossRow, TraceConfig};
+use microsampler_ct::{analyze_program, LatencyModel, StaticReport};
+use microsampler_isa::asm::assemble;
+use microsampler_kernels::fixtures;
+use microsampler_kernels::openssl::Primitive;
+use microsampler_obs::diag;
+use microsampler_sim::CoreConfig;
+
+/// One linted kernel: the static report plus the text base needed to map
+/// violation PCs back to instruction lines in SARIF output.
+#[derive(Clone, Debug)]
+pub struct LintResult {
+    /// Kernel name (primitive or fixture).
+    pub name: String,
+    /// The static analysis report.
+    pub report: StaticReport,
+    /// Base address of the kernel's text section.
+    pub text_base: u64,
+}
+
+/// Every name `repro lint <name>` accepts: the 27 Table V primitives
+/// followed by the seeded-leaky fixtures.
+pub fn lint_targets() -> Vec<&'static str> {
+    Primitive::all().iter().map(|p| p.name).chain(fixtures::all().iter().map(|f| f.name)).collect()
+}
+
+fn lint_primitive(p: &Primitive) -> LintResult {
+    let program = assemble(&p.source()).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    let report = analyze_program(p.name, &program, &p.secret_spec(), LatencyModel::default());
+    LintResult { name: p.name.to_owned(), report, text_base: program.text_base }
+}
+
+fn lint_fixture(f: &fixtures::LeakyFixture) -> LintResult {
+    let program = assemble(f.source).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+    let report = analyze_program(f.name, &program, &f.spec, LatencyModel::default());
+    LintResult { name: f.name.to_owned(), report, text_base: program.text_base }
+}
+
+/// Statically analyzes one kernel by name (primitive or fixture).
+pub fn lint_one(name: &str) -> Option<LintResult> {
+    if let Some(p) = Primitive::all().iter().find(|p| p.name == name) {
+        return Some(lint_primitive(p));
+    }
+    fixtures::all().iter().find(|f| f.name == name).map(lint_fixture)
+}
+
+/// Statically analyzes every primitive and fixture, in [`lint_targets`]
+/// order.
+pub fn lint_static_all() -> Vec<LintResult> {
+    let primitives = Primitive::all();
+    let fixture_list = fixtures::all();
+    let mut out: Vec<LintResult> = primitives.iter().map(lint_primitive).collect();
+    out.extend(fixture_list.iter().map(lint_fixture));
+    out
+}
+
+/// Cross-validates the static verdicts against the dynamic audit over
+/// the 27 Table V primitives (the fixtures are static-only: they exist to
+/// pin the analyzer's behavior, not to model real code).
+///
+/// Reuses Table V's escalation protocol so the dynamic verdicts here
+/// match `repro table5` at the same scale. Primitives fan out across the
+/// worker pool; rows come back in table order.
+pub fn lint_crossval(statics: &[LintResult], scale: &Scale) -> CrossReport {
+    let analyzer = Analyzer::new();
+    let primitives = Primitive::all();
+    let total = primitives.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let rows = microsampler_par::map(&primitives, |_, prim| {
+        let first = prim
+            .run(
+                CoreConfig::mega_boom(),
+                scale.primitive_trials,
+                scale.seed,
+                TraceConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+        let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
+            prim.run(
+                CoreConfig::mega_boom(),
+                scale.primitive_trials * 2,
+                scale.seed + round as u64 * 7919,
+                TraceConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", prim.name))
+            .result
+            .iterations
+        });
+        let static_leaky = statics
+            .iter()
+            .find(|r| r.name == prim.name)
+            .map(|r| r.report.is_leaky())
+            .unwrap_or_else(|| panic!("no static report for {}", prim.name));
+        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        diag::progress("lint-crossval", finished, total);
+        CrossRow::new(prim.name, static_leaky, &outcome.report)
+    });
+    CrossReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_cover_primitives_and_fixtures() {
+        let targets = lint_targets();
+        assert_eq!(targets.len(), Primitive::all().len() + fixtures::all().len());
+        assert!(targets.contains(&"leaky_branchy_memcmp"));
+    }
+
+    #[test]
+    fn lint_one_resolves_both_namespaces() {
+        assert!(!lint_one("leaky_sbox_index").unwrap().report.violations.is_empty());
+        assert!(lint_one("no-such-kernel").is_none());
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-validation of the static taint verdict against the dynamic
+//! statistical audit.
+//!
+//! The two detectors have complementary blind spots: the static analyzer
+//! over-approximates (any feasible path counts, so it can flag code the
+//! dynamic audit never observes leaking), while the dynamic audit
+//! under-approximates (it only sees leakage the sampled microarchitecture
+//! actually expressed — prefetcher state, cache-set conflicts, and other
+//! emergent channels the taint lattice does not model). Every primitive
+//! therefore lands in exactly one of five explained buckets; an
+//! "unexplained" row is a bug in one of the detectors.
+
+use crate::AnalysisReport;
+use microsampler_obs::json::Value;
+use std::fmt;
+
+/// Agreement classification for one kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrossVerdict {
+    /// Both detectors agree the kernel is constant-time.
+    TrueCt,
+    /// Both detectors agree the kernel leaks.
+    TrueLeaky,
+    /// Static flags it, dynamic observed nothing — the over-approximation
+    /// expected of a sound may-taint analysis (infeasible path, or a
+    /// channel the sampled configuration does not express).
+    StaticConservative,
+    /// Dynamic observed leakage the taint lattice does not model
+    /// (emergent microarchitectural channels: prefetcher, cache-set
+    /// conflicts, port contention).
+    DynamicOnly,
+    /// The dynamic audit saw strong association without significance and
+    /// wants more samples — no dynamic verdict to compare against.
+    Inconclusive,
+}
+
+impl CrossVerdict {
+    /// Stable label used in the report table and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrossVerdict::TrueCt => "true-ct",
+            CrossVerdict::TrueLeaky => "true-leaky",
+            CrossVerdict::StaticConservative => "static-conservative",
+            CrossVerdict::DynamicOnly => "dynamic-only",
+            CrossVerdict::Inconclusive => "inconclusive",
+        }
+    }
+
+    /// Why this combination of verdicts is expected, not a detector bug.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            CrossVerdict::TrueCt => "static clean and dynamic clean: constant-time",
+            CrossVerdict::TrueLeaky => "static leaky and dynamic leaky: confirmed leak",
+            CrossVerdict::StaticConservative => {
+                "static leaky, dynamic clean: may-taint over-approximation \
+                 (infeasible path or channel not expressed by this configuration)"
+            }
+            CrossVerdict::DynamicOnly => {
+                "dynamic leaky, static clean: emergent microarchitectural channel \
+                 outside the taint model"
+            }
+            CrossVerdict::Inconclusive => {
+                "dynamic audit needs more samples: no verdict to cross-check"
+            }
+        }
+    }
+
+    /// True when the static and dynamic verdicts disagree.
+    pub fn is_disagreement(self) -> bool {
+        matches!(self, CrossVerdict::StaticConservative | CrossVerdict::DynamicOnly)
+    }
+}
+
+/// Classifies one kernel's pair of verdicts.
+pub fn classify(static_leaky: bool, dynamic: &AnalysisReport) -> CrossVerdict {
+    if dynamic.is_leaky() {
+        if static_leaky {
+            CrossVerdict::TrueLeaky
+        } else {
+            CrossVerdict::DynamicOnly
+        }
+    } else if dynamic.needs_more_samples() {
+        CrossVerdict::Inconclusive
+    } else if static_leaky {
+        CrossVerdict::StaticConservative
+    } else {
+        CrossVerdict::TrueCt
+    }
+}
+
+/// One row of the cross-validation table.
+#[derive(Clone, Debug)]
+pub struct CrossRow {
+    /// Kernel name.
+    pub name: String,
+    /// Static verdict label ("clean"/"leaky").
+    pub static_verdict: &'static str,
+    /// Dynamic verdict label ("clean"/"leaky"/"needs-more-samples").
+    pub dynamic_verdict: &'static str,
+    /// Strongest per-unit Cramér's V the dynamic audit measured.
+    pub max_cramers_v: f64,
+    /// Agreement classification.
+    pub verdict: CrossVerdict,
+}
+
+impl CrossRow {
+    /// Builds a row from the two reports.
+    pub fn new(name: &str, static_leaky: bool, dynamic: &AnalysisReport) -> CrossRow {
+        let dynamic_verdict = if dynamic.is_leaky() {
+            "leaky"
+        } else if dynamic.needs_more_samples() {
+            "needs-more-samples"
+        } else {
+            "clean"
+        };
+        CrossRow {
+            name: name.to_string(),
+            static_verdict: if static_leaky { "leaky" } else { "clean" },
+            dynamic_verdict,
+            max_cramers_v: dynamic.units.iter().map(|u| u.assoc.cramers_v).fold(0.0, f64::max),
+            verdict: classify(static_leaky, dynamic),
+        }
+    }
+
+    /// JSON rendering (stable keys: `name`, `static`, `dynamic`,
+    /// `max_cramers_v`, `verdict`, `explanation`).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .field("name", self.name.as_str())
+            .field("static", self.static_verdict)
+            .field("dynamic", self.dynamic_verdict)
+            .field("max_cramers_v", self.max_cramers_v)
+            .field("verdict", self.verdict.label())
+            .field("explanation", self.verdict.explanation())
+            .build()
+    }
+}
+
+/// The full cross-validation report: one row per kernel, every row
+/// explained.
+#[derive(Clone, Debug, Default)]
+pub struct CrossReport {
+    /// Rows in analysis order.
+    pub rows: Vec<CrossRow>,
+}
+
+impl CrossReport {
+    /// Rows where the detectors disagree.
+    pub fn disagreements(&self) -> impl Iterator<Item = &CrossRow> {
+        self.rows.iter().filter(|r| r.verdict.is_disagreement())
+    }
+
+    /// JSON rendering (schema `microsampler-crossval-v1`).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .field("schema", "microsampler-crossval-v1")
+            .field("rows", Value::Array(self.rows.iter().map(CrossRow::to_json).collect()))
+            .field("disagreements", self.disagreements().count() as u64)
+            .build()
+    }
+}
+
+impl fmt::Display for CrossReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<30} {:>7} {:>19} {:>8}  verdict", "kernel", "static", "dynamic", "max V")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<30} {:>7} {:>19} {:>8.3}  {}",
+                r.name,
+                r.static_verdict,
+                r.dynamic_verdict,
+                r.max_cramers_v,
+                r.verdict.label()
+            )?;
+        }
+        for r in self.disagreements() {
+            writeln!(f, "  {}: {}", r.name, r.verdict.explanation())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::UnitReport;
+    use microsampler_sim::UnitId;
+    use microsampler_stats::Association;
+
+    fn dynamic_with(v: f64, p: f64) -> AnalysisReport {
+        let assoc = Association { cramers_v: v, chi2: 10.0, p_value: p, ..Association::none() };
+        AnalysisReport {
+            units: UnitId::ALL
+                .iter()
+                .map(|&u| UnitReport { unit: u, assoc, assoc_timeless: assoc })
+                .collect(),
+            iterations: 64,
+            classes: 4,
+        }
+    }
+
+    #[test]
+    fn four_quadrants_classify() {
+        let leaky = dynamic_with(0.9, 0.001);
+        let clean = dynamic_with(0.05, 0.8);
+        assert_eq!(classify(true, &leaky), CrossVerdict::TrueLeaky);
+        assert_eq!(classify(false, &leaky), CrossVerdict::DynamicOnly);
+        assert_eq!(classify(true, &clean), CrossVerdict::StaticConservative);
+        assert_eq!(classify(false, &clean), CrossVerdict::TrueCt);
+    }
+
+    #[test]
+    fn unconfirmed_association_is_inconclusive() {
+        let unsure = dynamic_with(0.9, 0.5);
+        assert_eq!(classify(false, &unsure), CrossVerdict::Inconclusive);
+        assert_eq!(classify(true, &unsure), CrossVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn report_counts_disagreements_and_renders() {
+        let report = CrossReport {
+            rows: vec![
+                CrossRow::new("a", false, &dynamic_with(0.05, 0.8)),
+                CrossRow::new("b", true, &dynamic_with(0.05, 0.8)),
+            ],
+        };
+        assert_eq!(report.disagreements().count(), 1);
+        let json = report.to_json();
+        assert_eq!(json.get("disagreements").and_then(Value::as_u64), Some(1));
+        let text = report.to_string();
+        assert!(text.contains("static-conservative"));
+        assert!(text.contains("over-approximation"));
+    }
+}

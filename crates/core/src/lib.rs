@@ -40,10 +40,12 @@
 //! ```
 
 mod analyzer;
+mod crossval;
 mod features;
 mod report;
 
 pub use analyzer::{analyze, Analyzer, EscalationOutcome};
+pub use crossval::{classify, CrossReport, CrossRow, CrossVerdict};
 pub use features::{
     feature_ordering, feature_uniqueness, map_features, OrderMismatch, OrderingReport,
     UniquenessReport,

@@ -1,0 +1,184 @@
+//! Fixpoint driver: forward abstract interpretation over the CFG.
+//!
+//! Block-entry states are joined from all predecessors and re-propagated
+//! until nothing changes (the lattice has finite height: `Const` can only
+//! rise to `Public`/`Secret`, and secret witness ids only fall). A final
+//! recording pass re-runs the transfer function from the stabilized entry
+//! states and collects violation events at in-region instructions.
+
+use crate::cfg::Cfg;
+use crate::report::{StaticReport, Violation, ViolationClass};
+use crate::taint::{Ctx, LatencyModel, State, Witness, WitnessKind};
+use microsampler_isa::asm::{assemble, AsmError};
+use microsampler_isa::{disassemble, Program, Reg};
+use microsampler_kernels::secrets::SecretSpec;
+use std::collections::HashMap;
+
+/// Runs the static constant-time analysis on an assembled program.
+pub fn analyze_program(
+    name: &str,
+    program: &Program,
+    spec: &SecretSpec,
+    latency: LatencyModel,
+) -> StaticReport {
+    let cfg = Cfg::build(program);
+    let mut witnesses: Vec<Witness> = Vec::new();
+    let mut source_ids: HashMap<(u64, u8), u32> = HashMap::new();
+
+    // Pre-allocate one witness per declared secret region so the shadow
+    // map can reference them before any instruction runs.
+    let ranges: Vec<(u64, u64, u32)> = spec
+        .regions
+        .iter()
+        .zip(spec.resolve(program))
+        .map(|(r, (start, len))| {
+            let id = witnesses.len() as u32;
+            witnesses.push(Witness { pc: u64::MAX, kind: WitnessKind::Region(r.symbol) });
+            (start, len, id)
+        })
+        .collect();
+
+    let mut ctx = Ctx {
+        data_base: program.data_base,
+        latency,
+        csr_input_secret: spec.csr_input_secret,
+        witnesses: &mut witnesses,
+        source_ids: &mut source_ids,
+    };
+
+    let n_blocks = cfg.blocks.len();
+    let mut entry_states: Vec<Option<State>> = vec![None; n_blocks];
+    let mut passes = 0usize;
+    if let Some(start) = cfg.index_of(program.entry) {
+        entry_states[cfg.block_of[start]] = Some(State::entry(program.data.len(), &ranges));
+        let mut work: Vec<usize> = vec![cfg.block_of[start]];
+        while let Some(b) = work.pop() {
+            let Some(mut state) = entry_states[b].clone() else { continue };
+            passes += 1;
+            for i in cfg.blocks[b].start..cfg.blocks[b].end {
+                crate::taint::transfer(&cfg.sites[i].inst, cfg.sites[i].pc, &mut state, &mut ctx);
+            }
+            for &s in &cfg.blocks[b].succs {
+                match &mut entry_states[s] {
+                    Some(existing) => {
+                        if existing.join_from(&state) {
+                            work.push(s);
+                        }
+                    }
+                    None => {
+                        entry_states[s] = Some(state.clone());
+                        work.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Recording pass: replay each reached block once from its stabilized
+    // entry state; report events only at in-region sites.
+    let mut violations: Vec<Violation> = Vec::new();
+    for (b, entry) in entry_states.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let mut state = entry.clone();
+        // Block-local definition sites, for the witness chain.
+        let mut def_site: [Option<usize>; 32] = [None; 32];
+        for i in cfg.blocks[b].start..cfg.blocks[b].end {
+            let site = cfg.sites[i];
+            let events = crate::taint::transfer(&site.inst, site.pc, &mut state, &mut ctx);
+            if cfg.in_region[i] {
+                for ev in events {
+                    let class = ViolationClass::from_code(ev.class);
+                    if violations.iter().any(|v| v.pc == site.pc && v.class == class) {
+                        continue;
+                    }
+                    let witness = witness_chain(
+                        &cfg,
+                        &def_site,
+                        ev.reg,
+                        ctx.witnesses.get(ev.witness as usize),
+                        site.pc,
+                    );
+                    violations.push(Violation {
+                        pc: site.pc,
+                        class,
+                        severity: class.severity(),
+                        disasm: disassemble(&site.inst),
+                        witness,
+                    });
+                }
+            }
+            if let Some(rd) = site.inst.rd() {
+                def_site[rd.index()] = Some(i);
+            }
+        }
+    }
+    violations.sort_by_key(|v| (v.pc, v.class.code()));
+
+    StaticReport {
+        program: name.to_string(),
+        insts: cfg.sites.len(),
+        blocks: cfg.blocks.len(),
+        passes,
+        violations,
+        warnings: cfg.warnings.clone(),
+    }
+}
+
+/// Convenience wrapper: assemble then analyze.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn analyze_source(
+    name: &str,
+    source: &str,
+    spec: &SecretSpec,
+    latency: LatencyModel,
+) -> Result<StaticReport, AsmError> {
+    Ok(analyze_program(name, &assemble(source)?, spec, latency))
+}
+
+/// Builds the human-readable taint chain for one violation: the source
+/// event, the block-local definition of the offending register (when it
+/// exists and differs from the source), and the violating instruction.
+fn witness_chain(
+    cfg: &Cfg,
+    def_site: &[Option<usize>; 32],
+    reg: Reg,
+    witness: Option<&Witness>,
+    violation_pc: u64,
+) -> Vec<String> {
+    let mut chain = Vec::new();
+    if let Some(w) = witness {
+        chain.push(match (&w.kind, w.pc) {
+            (WitnessKind::Region(sym), _) => {
+                format!("secret seeded in .data region `{sym}`")
+            }
+            (WitnessKind::CsrInput, pc) => {
+                format!("secret read from input CSR at {pc:#x}: {}", disasm_at(cfg, pc))
+            }
+            (WitnessKind::Load, pc) => {
+                format!("secret loaded through tainted pointer at {pc:#x}: {}", disasm_at(cfg, pc))
+            }
+        });
+    }
+    if let Some(i) = def_site[reg.index()] {
+        let s = cfg.sites[i];
+        if s.pc != violation_pc && Some(s.pc) != witness.map(|w| w.pc) {
+            chain.push(format!(
+                "{} tainted at {:#x}: {}",
+                reg.abi_name(),
+                s.pc,
+                disassemble(&s.inst)
+            ));
+        }
+    }
+    chain.push(format!("violation at {violation_pc:#x}: {}", disasm_at(cfg, violation_pc)));
+    chain
+}
+
+fn disasm_at(cfg: &Cfg, pc: u64) -> String {
+    cfg.index_of(pc)
+        .map(|i| disassemble(&cfg.sites[i].inst))
+        .unwrap_or_else(|| "<outside text>".to_string())
+}

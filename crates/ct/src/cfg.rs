@@ -1,0 +1,264 @@
+//! Control-flow graph over a decoded `.text` section.
+//!
+//! Instructions are decoded once into a linear array; basic blocks are
+//! computed with the classic leader algorithm. Successors follow both
+//! arms of conditional branches, `jal` targets, and — for return-shaped
+//! `jalr` — a static return-address-stack pairing: a `ret` flows to the
+//! return points of every call site that targets the function containing
+//! it (function entries are the set of direct-call targets plus the
+//! program entry).
+//!
+//! The CFG also computes the *iteration region*: the instructions
+//! reachable from an `ITER_START` marker without crossing an `ITER_END`.
+//! Only findings inside this region are reported — it is exactly the
+//! window the dynamic tracer samples, and it excludes driver control flow
+//! (e.g. the trial-count branch) that handles secret-derived bookkeeping
+//! outside the measured window.
+
+use microsampler_isa::{CsrOp, Inst, Program, CSR_ITER_END, CSR_ITER_START};
+
+/// One decoded instruction with its address.
+#[derive(Clone, Copy, Debug)]
+pub struct Site {
+    /// Virtual address.
+    pub pc: u64,
+    /// Decoded instruction.
+    pub inst: Inst,
+}
+
+/// A basic block: a contiguous run of instruction indices.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Index of the first instruction.
+    pub start: usize,
+    /// One past the index of the last instruction.
+    pub end: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// The control-flow graph of a program's text section.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Decoded instructions in address order.
+    pub sites: Vec<Site>,
+    /// Basic blocks in address order.
+    pub blocks: Vec<Block>,
+    /// `in_region[i]` — instruction `i` lies between `ITER_START` and
+    /// `ITER_END` on some path.
+    pub in_region: Vec<bool>,
+    /// Block index containing each instruction.
+    pub block_of: Vec<usize>,
+    /// Undecodable words or indirect jumps the CFG had to truncate at.
+    pub warnings: Vec<String>,
+}
+
+fn is_iter_start(inst: &Inst) -> bool {
+    matches!(inst, Inst::Csr { op: CsrOp::Rw, csr, .. } if *csr == CSR_ITER_START)
+}
+
+fn is_iter_end(inst: &Inst) -> bool {
+    matches!(inst, Inst::Csr { op: CsrOp::Rw, csr, .. } if *csr == CSR_ITER_END)
+}
+
+impl Cfg {
+    /// Builds the CFG for a program.
+    pub fn build(program: &Program) -> Cfg {
+        let mut sites = Vec::with_capacity(program.inst_count());
+        let mut warnings = Vec::new();
+        for i in 0..program.inst_count() {
+            let pc = program.text_base + 4 * i as u64;
+            match program.inst_at(pc) {
+                Some(inst) => sites.push(Site { pc, inst }),
+                None => {
+                    warnings.push(format!("undecodable word at {pc:#x}; CFG truncated"));
+                    break;
+                }
+            }
+        }
+        let n = sites.len();
+        let index_of = |pc: u64| -> Option<usize> {
+            let off = pc.checked_sub(program.text_base)? / 4;
+            ((off as usize) < n && pc.is_multiple_of(4)).then_some(off as usize)
+        };
+
+        // Function entries: direct-call targets plus the program entry.
+        // A return-shaped jalr belongs to the innermost preceding entry and
+        // flows back to that function's call sites.
+        let mut entries: Vec<usize> = index_of(program.entry).into_iter().collect();
+        let mut call_sites: Vec<(usize, usize)> = Vec::new(); // (site, target)
+        for (i, s) in sites.iter().enumerate() {
+            if let Inst::Jal { offset, .. } = s.inst {
+                if s.inst.is_call() {
+                    if let Some(t) = index_of(s.pc.wrapping_add(offset as u64)) {
+                        entries.push(t);
+                        call_sites.push((i, t));
+                    }
+                }
+            }
+        }
+        entries.sort_unstable();
+        entries.dedup();
+        let function_of =
+            |i: usize| -> Option<usize> { entries.iter().rev().find(|&&e| e <= i).copied() };
+
+        // Per-instruction successors.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, s) in sites.iter().enumerate() {
+            match s.inst {
+                Inst::Branch { offset, .. } => {
+                    if let Some(t) = index_of(s.pc.wrapping_add(offset as u64)) {
+                        succs[i].push(t);
+                    }
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                }
+                Inst::Jal { offset, .. } => {
+                    if let Some(t) = index_of(s.pc.wrapping_add(offset as u64)) {
+                        succs[i].push(t);
+                    }
+                }
+                Inst::Jalr { .. } if s.inst.is_return() => {
+                    let me = function_of(i);
+                    for &(site, target) in &call_sites {
+                        if Some(target) == me && site + 1 < n {
+                            succs[i].push(site + 1);
+                        }
+                    }
+                }
+                Inst::Jalr { .. } => {
+                    // Computed jump with no static target: the analysis
+                    // stops here on this path.
+                    warnings.push(format!("unresolved indirect jump at {:#x}", s.pc));
+                }
+                Inst::Ecall | Inst::Ebreak => {}
+                _ => {
+                    if i + 1 < n {
+                        succs[i].push(i + 1);
+                    }
+                }
+            }
+        }
+
+        // Leaders: entry points, jump/branch targets, and fall-throughs of
+        // control transfers.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for &e in &entries {
+            leader[e] = true;
+        }
+        for (i, s) in sites.iter().enumerate() {
+            if s.inst.is_control_flow() || matches!(s.inst, Inst::Ecall | Inst::Ebreak) {
+                for &t in &succs[i] {
+                    leader[t] = true;
+                }
+                if i + 1 < n {
+                    leader[i + 1] = true;
+                }
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0;
+        for i in 0..n {
+            block_of[i] = blocks.len();
+            let last = i + 1 == n || leader[i + 1];
+            if last {
+                blocks.push(Block { start, end: i + 1, succs: Vec::new() });
+                start = i + 1;
+            }
+        }
+        for block in &mut blocks {
+            let tail = block.end - 1;
+            let mut bs: Vec<usize> = succs[tail].iter().map(|&t| block_of[t]).collect();
+            bs.sort_unstable();
+            bs.dedup();
+            block.succs = bs;
+        }
+
+        // Iteration region: forward reachability from ITER_START markers,
+        // cut at ITER_END markers (the markers themselves are excluded).
+        let mut in_region = vec![false; n];
+        let mut work: Vec<usize> = sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| is_iter_start(&s.inst))
+            .flat_map(|(i, _)| succs[i].clone())
+            .collect();
+        while let Some(i) = work.pop() {
+            if in_region[i] || is_iter_end(&sites[i].inst) {
+                continue;
+            }
+            in_region[i] = true;
+            work.extend(succs[i].iter().copied());
+        }
+
+        Cfg { sites, blocks, in_region, block_of, warnings }
+    }
+
+    /// Instruction index for a text address.
+    pub fn index_of(&self, pc: u64) -> Option<usize> {
+        let base = self.sites.first()?.pc;
+        let off = pc.checked_sub(base)? / 4;
+        ((off as usize) < self.sites.len()).then_some(off as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let c = cfg_of("li a0, 1\nli a1, 2\nadd a0, a0, a1\necall\n");
+        assert_eq!(c.blocks.len(), 1);
+        assert!(c.blocks[0].succs.is_empty());
+        assert!(c.warnings.is_empty());
+    }
+
+    #[test]
+    fn branch_splits_blocks_with_both_arms() {
+        let c = cfg_of("beqz a0, skip\nli a1, 1\nskip:\nli a2, 2\necall\n");
+        assert_eq!(c.blocks.len(), 3);
+        assert_eq!(c.blocks[0].succs, vec![1, 2]);
+        assert_eq!(c.blocks[1].succs, vec![2]);
+    }
+
+    #[test]
+    fn call_return_pairs_back_to_the_call_site() {
+        let c = cfg_of("call f\nli a1, 7\necall\nf:\nli a0, 3\nret\n");
+        // The ret block's successor is the block holding `li a1, 7`.
+        let ret_idx = c.sites.iter().position(|s| s.inst.is_return()).unwrap();
+        let ret_block =
+            c.blocks.iter().position(|b| b.start <= ret_idx && ret_idx < b.end).unwrap();
+        let succ = c.blocks[ret_block].succs[0];
+        assert_eq!(c.blocks[succ].start, 1); // instruction after the call
+    }
+
+    #[test]
+    fn region_marking_tracks_iter_markers() {
+        let c = cfg_of(
+            "csrr s0, 0x8c8\nbeqz s0, out\ncsrw 0x8c2, s0\nadd a0, a0, a1\n\
+             csrw 0x8c3, zero\nj end\nout:\nli a0, 0\nend:\necall\n",
+        );
+        let marked: Vec<u64> = c
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| c.in_region[i])
+            .map(|(_, s)| s.pc - c.sites[0].pc)
+            .collect();
+        // Only the `add` between the markers is in-region (offset 12: after
+        // csrr, beqz, csrw).
+        assert_eq!(marked, vec![12]);
+    }
+}

@@ -1,0 +1,53 @@
+//! `microsampler-ct`: static constant-time taint analysis.
+//!
+//! The dynamic pipeline answers "did this run leak?"; this crate answers
+//! "can any run leak?" — a complementary, millisecond-cheap oracle over
+//! the same [`microsampler_isa`] programs the simulator executes. It
+//! decodes the text section into a CFG ([`mod@cfg`]), runs a forward abstract
+//! interpretation to a fixpoint over a constant-propagation + secret-taint
+//! lattice ([`taint`]), and reports three violation classes mirroring the
+//! paper's leakage channels ([`report`]):
+//!
+//! 1. **CT-BRANCH** — secret-tainted branch condition,
+//! 2. **CT-ADDR** — secret-tainted load/store effective address,
+//! 3. **CT-LATENCY** — secret operand to a variable-latency mul/div
+//!    (`is_div` always; `mul` under an early-out multiplier,
+//!    [`LatencyModel`]).
+//!
+//! Taint sources come from the kernel's
+//! [`microsampler_kernels::secrets::SecretSpec`]; findings are scoped to
+//! the `ITER_START`/`ITER_END` window the dynamic tracer samples, carry a
+//! witness chain, and render as text, `microsampler-lint-report-v1` JSON,
+//! or SARIF for CI.
+//!
+//! # Example
+//!
+//! ```
+//! use microsampler_ct::{analyze_source, LatencyModel};
+//! use microsampler_kernels::secrets::SecretSpec;
+//!
+//! let src = "
+//! _start:
+//!     csrr a0, 0x8c8
+//!     csrw 0x8c2, a0
+//!     beqz a0, out        # branch on the secret: CT-BRANCH
+//! out:
+//!     csrw 0x8c3, zero
+//!     ecall
+//! ";
+//! let report =
+//!     analyze_source("demo", src, &SecretSpec::csr_only(), LatencyModel::default())?;
+//! assert!(report.is_leaky());
+//! assert_eq!(report.violations[0].class.rule_id(), "CT-BRANCH");
+//! # Ok::<(), microsampler_isa::asm::AsmError>(())
+//! ```
+
+pub mod analyze;
+pub mod cfg;
+pub mod report;
+pub mod taint;
+
+pub use analyze::{analyze_program, analyze_source};
+pub use cfg::Cfg;
+pub use report::{sarif_document, sarif_rules, Severity, StaticReport, Violation, ViolationClass};
+pub use taint::{AbsVal, LatencyModel};

@@ -1,0 +1,247 @@
+//! Findings and their three output formats: human text, the
+//! `microsampler-obs` JSON schema (`microsampler-lint-report-v1`), and
+//! SARIF 2.1.0 for CI code scanning.
+
+use microsampler_obs::json::Value;
+use microsampler_obs::sarif;
+use std::fmt;
+
+/// The paper's three statically-checkable leakage channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationClass {
+    /// Class 1: a conditional branch compares secret-tainted data —
+    /// control flow, fetch pattern, and predictor state all key on the
+    /// secret.
+    SecretBranch,
+    /// Class 2: a load/store effective address is secret-tainted — cache
+    /// sets, TLB entries, MSHRs, and prefetch streams key on the secret.
+    SecretAddress,
+    /// Class 3: a secret operand reaches a variable-latency multiply or
+    /// divide — completion time and unit occupancy key on the secret.
+    VariableLatency,
+}
+
+impl ViolationClass {
+    /// Numeric class used in reports and fixtures (1, 2, 3).
+    pub fn code(self) -> u8 {
+        match self {
+            ViolationClass::SecretBranch => 1,
+            ViolationClass::SecretAddress => 2,
+            ViolationClass::VariableLatency => 3,
+        }
+    }
+
+    /// Builds the class from its numeric code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on codes outside 1..=3.
+    pub fn from_code(code: u8) -> ViolationClass {
+        match code {
+            1 => ViolationClass::SecretBranch,
+            2 => ViolationClass::SecretAddress,
+            3 => ViolationClass::VariableLatency,
+            _ => panic!("violation class code {code} out of range"),
+        }
+    }
+
+    /// Stable rule id for SARIF and baselines.
+    pub fn rule_id(self) -> &'static str {
+        match self {
+            ViolationClass::SecretBranch => "CT-BRANCH",
+            ViolationClass::SecretAddress => "CT-ADDR",
+            ViolationClass::VariableLatency => "CT-LATENCY",
+        }
+    }
+
+    /// One-line description of the channel.
+    pub fn description(self) -> &'static str {
+        match self {
+            ViolationClass::SecretBranch => "secret-tainted branch condition",
+            ViolationClass::SecretAddress => "secret-tainted load/store address",
+            ViolationClass::VariableLatency => "secret operand to variable-latency mul/div",
+        }
+    }
+
+    /// Default severity of the class.
+    pub fn severity(self) -> Severity {
+        match self {
+            // Branches and addresses leak through many structures at once
+            // (paper Tables IV/V); latency leaks through one unit.
+            ViolationClass::SecretBranch | ViolationClass::SecretAddress => Severity::High,
+            ViolationClass::VariableLatency => Severity::Medium,
+        }
+    }
+}
+
+/// Finding severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Broad leakage surface.
+    High,
+    /// Single-channel leakage surface.
+    Medium,
+}
+
+impl Severity {
+    /// Lower-case label used in text/JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::High => "high",
+            Severity::Medium => "medium",
+        }
+    }
+
+    /// SARIF level string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::High => "error",
+            Severity::Medium => "warning",
+        }
+    }
+}
+
+/// One constant-time violation found inside the iteration region.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// PC of the violating instruction.
+    pub pc: u64,
+    /// Leakage channel class.
+    pub class: ViolationClass,
+    /// Severity.
+    pub severity: Severity,
+    /// Disassembly of the violating instruction.
+    pub disasm: String,
+    /// Taint chain from source to violation, human-readable.
+    pub witness: Vec<String>,
+}
+
+/// The result of statically analyzing one kernel.
+#[derive(Clone, Debug)]
+pub struct StaticReport {
+    /// Kernel name.
+    pub program: String,
+    /// Instructions decoded.
+    pub insts: usize,
+    /// Basic blocks.
+    pub blocks: usize,
+    /// Block transfers until the fixpoint stabilized.
+    pub passes: usize,
+    /// In-region violations, ordered by PC then class.
+    pub violations: Vec<Violation>,
+    /// CFG truncations (undecodable words, unresolved indirect jumps).
+    pub warnings: Vec<String>,
+}
+
+impl StaticReport {
+    /// True when any violation was found.
+    pub fn is_leaky(&self) -> bool {
+        !self.violations.is_empty()
+    }
+
+    /// Static verdict label used in baselines and the cross-validation
+    /// table.
+    pub fn verdict(&self) -> &'static str {
+        if self.is_leaky() {
+            "leaky"
+        } else {
+            "clean"
+        }
+    }
+
+    /// The `microsampler-lint-report-v1` JSON document.
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .field("schema", "microsampler-lint-report-v1")
+            .field("program", self.program.as_str())
+            .field("verdict", self.verdict())
+            .field("insts", self.insts as u64)
+            .field("blocks", self.blocks as u64)
+            .field("passes", self.passes as u64)
+            .field(
+                "violations",
+                Value::array(self.violations.iter().map(|v| {
+                    Value::object()
+                        .field("pc", format!("{:#x}", v.pc))
+                        .field("class", v.class.code() as u64)
+                        .field("rule", v.class.rule_id())
+                        .field("severity", v.severity.label())
+                        .field("disasm", v.disasm.as_str())
+                        .field("witness", Value::array(v.witness.iter().map(String::as_str)))
+                        .build()
+                })),
+            )
+            .field("warnings", Value::array(self.warnings.iter().map(String::as_str)))
+            .build()
+    }
+
+    /// SARIF findings for this report (artifact is `<program>.s`; the
+    /// line is the 1-based instruction index, the PC is in the message).
+    pub fn sarif_findings(&self, text_base: u64) -> Vec<sarif::Finding> {
+        self.violations
+            .iter()
+            .map(|v| sarif::Finding {
+                rule_id: v.class.rule_id().to_string(),
+                level: v.severity.sarif_level(),
+                message: format!(
+                    "{} at {:#x}: `{}` ({})",
+                    v.class.description(),
+                    v.pc,
+                    v.disasm,
+                    v.witness.join("; "),
+                ),
+                artifact: format!("{}.s", self.program),
+                line: (v.pc.saturating_sub(text_base)) / 4 + 1,
+            })
+            .collect()
+    }
+}
+
+/// The three SARIF rules, one per violation class.
+pub fn sarif_rules() -> Vec<sarif::Rule> {
+    [ViolationClass::SecretBranch, ViolationClass::SecretAddress, ViolationClass::VariableLatency]
+        .into_iter()
+        .map(|c| sarif::Rule {
+            id: c.rule_id().to_string(),
+            description: c.description().to_string(),
+        })
+        .collect()
+}
+
+/// Renders a complete SARIF document covering several reports.
+pub fn sarif_document(reports: &[(&StaticReport, u64)]) -> Value {
+    let findings: Vec<sarif::Finding> =
+        reports.iter().flat_map(|(r, base)| r.sarif_findings(*base)).collect();
+    sarif::document("microsampler-ct", env!("CARGO_PKG_VERSION"), &sarif_rules(), &findings)
+}
+
+impl fmt::Display for StaticReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} ({} insts, {} blocks, {} passes)",
+            self.program,
+            self.verdict(),
+            self.insts,
+            self.blocks,
+            self.passes
+        )?;
+        for v in &self.violations {
+            writeln!(
+                f,
+                "  [{}] {} at {:#x}: {}",
+                v.severity.label(),
+                v.class.rule_id(),
+                v.pc,
+                v.disasm
+            )?;
+            for hop in &v.witness {
+                writeln!(f, "      {hop}")?;
+            }
+        }
+        for w in &self.warnings {
+            writeln!(f, "  warning: {w}")?;
+        }
+        Ok(())
+    }
+}

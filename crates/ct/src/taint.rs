@@ -1,0 +1,402 @@
+//! The abstract domain: a constant-propagation + secret-taint lattice.
+//!
+//! Register values live in `Const(v) ⊑ Public ⊑ Secret(w)`:
+//!
+//! * `Const` — the same concrete value on every path. Needed to resolve
+//!   `la` pairs (`auipc`+`addi`), staged buffer pointers, and loop
+//!   counters, so that public address arithmetic does not degrade into
+//!   false secret-address findings.
+//! * `Public` — attacker-observable or attacker-known data; not a leak.
+//! * `Secret(w)` — may carry secret bits; `w` indexes the witness table
+//!   recording where the taint entered.
+//!
+//! Memory is a byte-granular shadow of the `.data` section plus a single
+//! `other` summary cell for everything else (stack, out-of-image). Joins
+//! are pointwise; `Secret` witnesses join by minimum so the fixpoint is
+//! deterministic and the chain ends at a stable source.
+
+use microsampler_isa::{Inst, Reg};
+use microsampler_sim::interp;
+
+/// Abstract register value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Identical concrete value on all paths reaching this point.
+    Const(u64),
+    /// Unknown but secret-independent.
+    Public,
+    /// May depend on a secret; the id indexes the witness table.
+    Secret(u32),
+}
+
+impl AbsVal {
+    /// Least upper bound.
+    pub fn join(self, other: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Secret(a), Secret(b)) => Secret(a.min(b)),
+            (Secret(w), _) | (_, Secret(w)) => Secret(w),
+            (Const(a), Const(b)) if a == b => Const(a),
+            (Const(_), Const(_)) | (Const(_), Public) | (Public, Const(_)) | (Public, Public) => {
+                Public
+            }
+        }
+    }
+
+    /// Witness id when secret.
+    pub fn secret_witness(self) -> Option<u32> {
+        match self {
+            AbsVal::Secret(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Taint of one shadow byte (memory keeps no constants, only taint).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemTaint {
+    /// Secret-independent contents.
+    Public,
+    /// May hold secret bits.
+    Secret(u32),
+}
+
+impl MemTaint {
+    fn join(self, other: MemTaint) -> MemTaint {
+        match (self, other) {
+            (MemTaint::Secret(a), MemTaint::Secret(b)) => MemTaint::Secret(a.min(b)),
+            (MemTaint::Secret(w), _) | (_, MemTaint::Secret(w)) => MemTaint::Secret(w),
+            _ => MemTaint::Public,
+        }
+    }
+
+    fn to_abs(self) -> AbsVal {
+        match self {
+            MemTaint::Public => AbsVal::Public,
+            MemTaint::Secret(w) => AbsVal::Secret(w),
+        }
+    }
+
+    fn of(v: AbsVal) -> MemTaint {
+        match v {
+            AbsVal::Secret(w) => MemTaint::Secret(w),
+            _ => MemTaint::Public,
+        }
+    }
+}
+
+/// Where a taint entered the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WitnessKind {
+    /// A `csrr` of the input CSR (0x8c8).
+    CsrInput,
+    /// Initial contents of a declared secret `.data` region.
+    Region(&'static str),
+    /// A load that touched secret memory.
+    Load,
+}
+
+/// One taint-source event.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// PC of the source instruction (`u64::MAX` for pre-existing region
+    /// contents, which have no instruction).
+    pub pc: u64,
+    /// What kind of source it was.
+    pub kind: WitnessKind,
+}
+
+/// Abstract machine state at one program point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct State {
+    /// The 31 GPRs plus the pinned `x0 = Const(0)`.
+    pub regs: [AbsVal; 32],
+    /// Byte-granular taint shadow of the `.data` section.
+    pub shadow: Vec<MemTaint>,
+    /// Summary taint of all memory outside `.data` (stack, scratch).
+    pub other: MemTaint,
+}
+
+impl State {
+    /// Entry state: `x0` and `sp` pinned, everything else public, shadow
+    /// seeded from the resolved secret regions.
+    pub fn entry(data_len: usize, secret_ranges: &[(u64, u64, u32)]) -> State {
+        let mut regs = [AbsVal::Public; 32];
+        regs[Reg::ZERO.index()] = AbsVal::Const(0);
+        regs[Reg::SP.index()] = AbsVal::Const(microsampler_isa::STACK_TOP);
+        let mut shadow = vec![MemTaint::Public; data_len];
+        for &(start, len, witness) in secret_ranges {
+            for b in shadow.iter_mut().skip(start as usize).take(len as usize) {
+                *b = MemTaint::Secret(witness);
+            }
+        }
+        State { regs, shadow, other: MemTaint::Public }
+    }
+
+    /// Pointwise join; returns true when `self` changed.
+    pub fn join_from(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for (a, &b) in self.regs.iter_mut().zip(other.regs.iter()) {
+            let j = a.join(b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        for (a, &b) in self.shadow.iter_mut().zip(other.shadow.iter()) {
+            let j = a.join(b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        let j = self.other.join(other.other);
+        if j != self.other {
+            self.other = j;
+            changed = true;
+        }
+        changed
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    fn join_data_range(&self, start: i64, size: u64) -> AbsVal {
+        let mut acc = AbsVal::Public;
+        for i in 0..size as i64 {
+            let off = start + i;
+            match usize::try_from(off).ok().and_then(|o| self.shadow.get(o)) {
+                Some(b) => acc = acc.join(b.to_abs()),
+                None => acc = acc.join(self.other.to_abs()),
+            }
+        }
+        acc
+    }
+
+    /// All shadow bytes joined with the summary cell — the value of a load
+    /// through an unknown public address.
+    fn join_all_memory(&self) -> AbsVal {
+        let mut acc = self.other.to_abs();
+        for b in &self.shadow {
+            acc = acc.join(b.to_abs());
+        }
+        acc
+    }
+
+    /// Unknown-address store of a secret: every byte anywhere may now hold
+    /// it (conservative havoc). Public-valued unknown stores change
+    /// nothing — a may-taint analysis cannot kill taint through an
+    /// unresolved address.
+    fn havoc(&mut self, taint: MemTaint) {
+        if let MemTaint::Secret(_) = taint {
+            for b in self.shadow.iter_mut() {
+                *b = b.join(taint);
+            }
+            self.other = self.other.join(taint);
+        }
+    }
+}
+
+/// Which `MulDivOp`s are variable-latency on the analyzed core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Divides/remainders are always flagged (iterative unit). Multiplies
+    /// are flagged only under an operand-dependent early-out multiplier.
+    pub variable_mul: bool,
+}
+
+impl LatencyModel {
+    /// Derives the model from a core configuration.
+    pub fn from_config(cfg: &microsampler_sim::CoreConfig) -> LatencyModel {
+        LatencyModel { variable_mul: cfg.mul_early_out }
+    }
+}
+
+/// A raw violation event produced by the transfer function.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Violation class: 1 branch, 2 address, 3 variable-latency operand.
+    pub class: u8,
+    /// Register carrying the secret into the violating operand.
+    pub reg: Reg,
+    /// Witness id of that secret.
+    pub witness: u32,
+}
+
+/// Everything the transfer function needs besides the state.
+pub struct Ctx<'a> {
+    /// `.data` load address (for concrete-address shadow lookups).
+    pub data_base: u64,
+    /// Latency model for class-3 checks.
+    pub latency: LatencyModel,
+    /// Input-CSR reads are secret.
+    pub csr_input_secret: bool,
+    /// Witness table, grown as sources are encountered.
+    pub witnesses: &'a mut Vec<Witness>,
+    /// Witness id per instruction index (stable across fixpoint passes).
+    pub source_ids: &'a mut std::collections::HashMap<(u64, u8), u32>,
+}
+
+impl Ctx<'_> {
+    fn witness_at(&mut self, pc: u64, kind: WitnessKind) -> u32 {
+        let tag = match kind {
+            WitnessKind::CsrInput => 0,
+            WitnessKind::Region(_) => 1,
+            WitnessKind::Load => 2,
+        };
+        if let Some(&id) = self.source_ids.get(&(pc, tag)) {
+            return id;
+        }
+        let id = self.witnesses.len() as u32;
+        self.witnesses.push(Witness { pc, kind });
+        self.source_ids.insert((pc, tag), id);
+        id
+    }
+}
+
+/// Applies one instruction to the state, returning any violation events.
+///
+/// Events are produced unconditionally; the analyzer filters them by the
+/// CFG's iteration region before reporting.
+pub fn transfer(inst: &Inst, pc: u64, state: &mut State, ctx: &mut Ctx<'_>) -> Vec<Event> {
+    let mut events = Vec::new();
+    let check_secret = |class: u8, reg: Reg, v: AbsVal, events: &mut Vec<Event>| {
+        if let AbsVal::Secret(w) = v {
+            events.push(Event { class, reg, witness: w });
+        }
+    };
+    match *inst {
+        Inst::Lui { rd, imm } => state.set(rd, AbsVal::Const(imm as u64)),
+        Inst::Auipc { rd, imm } => state.set(rd, AbsVal::Const(pc.wrapping_add(imm as u64))),
+        Inst::Jal { rd, .. } | Inst::Jalr { rd, .. } => {
+            state.set(rd, AbsVal::Const(pc.wrapping_add(4)));
+        }
+        Inst::Branch { .. } => {
+            // Both operands feed one condition: report class 1 at most
+            // once, preferring rs1's witness.
+            let (rs1, rs2) = inst.branch_sources().expect("branch shape");
+            let tainted = [(rs1, state.get(rs1)), (rs2, state.get(rs2))]
+                .into_iter()
+                .find_map(|(r, v)| v.secret_witness().map(|w| (r, w)));
+            if let Some((reg, witness)) = tainted {
+                events.push(Event { class: 1, reg, witness });
+            }
+        }
+        Inst::Load { op, rd, .. } => {
+            let (base, disp) = inst.mem_base().expect("load shape");
+            let addr = state.get(base);
+            check_secret(2, base, addr, &mut events);
+            let value = match addr {
+                AbsVal::Const(b) => {
+                    let a = b.wrapping_add(disp as u64);
+                    let off = a.wrapping_sub(ctx.data_base) as i64;
+                    state.join_data_range(off, op.size())
+                }
+                AbsVal::Public => state.join_all_memory(),
+                AbsVal::Secret(_) => {
+                    // Through a secret pointer anything may come back.
+                    let w = ctx.witness_at(pc, WitnessKind::Load);
+                    state.join_all_memory().join(AbsVal::Secret(w))
+                }
+            };
+            state.set(rd, value);
+        }
+        Inst::Store { rs2, .. } => {
+            let (base, disp) = inst.mem_base().expect("store shape");
+            let addr = state.get(base);
+            check_secret(2, base, addr, &mut events);
+            let value = MemTaint::of(state.get(rs2));
+            match addr {
+                AbsVal::Const(b) => {
+                    let a = b.wrapping_add(disp as u64);
+                    let size = inst.mem_size().expect("store shape");
+                    let off = a.wrapping_sub(ctx.data_base);
+                    let mut in_data = false;
+                    for i in 0..size {
+                        if let Some(byte) = usize::try_from(off.wrapping_add(i))
+                            .ok()
+                            .and_then(|o| state.shadow.get_mut(o))
+                        {
+                            // Strong update: a concrete address overwrites
+                            // exactly these bytes.
+                            *byte = value;
+                            in_data = true;
+                        }
+                    }
+                    if !in_data {
+                        state.other = state.other.join(value);
+                    }
+                }
+                AbsVal::Public | AbsVal::Secret(_) => state.havoc(value),
+            }
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            let v = match state.get(rs1) {
+                AbsVal::Const(a) => AbsVal::Const(interp::alu(op, a, imm as u64)),
+                other => other,
+            };
+            state.set(rd, v);
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let v = match (state.get(rs1), state.get(rs2)) {
+                (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(interp::alu(op, a, b)),
+                (a, b) => a.join(b),
+            };
+            state.set(rd, v);
+        }
+        Inst::MulDiv { op, rd, rs1, rs2 } => {
+            if op.is_div() || ctx.latency.variable_mul {
+                check_secret(3, rs1, state.get(rs1), &mut events);
+                check_secret(3, rs2, state.get(rs2), &mut events);
+                events.dedup_by_key(|e| e.class);
+            }
+            let v = match (state.get(rs1), state.get(rs2)) {
+                (AbsVal::Const(a), AbsVal::Const(b)) => AbsVal::Const(interp::muldiv(op, a, b)),
+                (a, b) => a.join(b),
+            };
+            state.set(rd, v);
+        }
+        Inst::Csr { rd, csr, .. } => {
+            let v = if csr == microsampler_isa::CSR_INPUT && ctx.csr_input_secret {
+                AbsVal::Secret(ctx.witness_at(pc, WitnessKind::CsrInput))
+            } else {
+                AbsVal::Public
+            };
+            state.set(rd, v);
+        }
+        Inst::Ecall | Inst::Ebreak | Inst::Fence => {}
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_commutative_and_absorbing() {
+        use AbsVal::*;
+        assert_eq!(Const(3).join(Const(3)), Const(3));
+        assert_eq!(Const(3).join(Const(4)), Public);
+        assert_eq!(Const(3).join(Secret(2)), Secret(2));
+        assert_eq!(Secret(5).join(Secret(2)), Secret(2));
+        assert_eq!(Public.join(Public), Public);
+    }
+
+    #[test]
+    fn havoc_only_spreads_secrets() {
+        let mut s = State::entry(4, &[]);
+        s.havoc(MemTaint::Public);
+        assert!(s.shadow.iter().all(|&b| b == MemTaint::Public));
+        s.havoc(MemTaint::Secret(0));
+        assert!(s.shadow.iter().all(|&b| b == MemTaint::Secret(0)));
+        assert_eq!(s.other, MemTaint::Secret(0));
+    }
+}

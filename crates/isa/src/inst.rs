@@ -234,6 +234,48 @@ impl Inst {
             Inst::Jalr { rd, rs1, .. } if rd.is_zero() && *rs1 == Reg::RA
         )
     }
+
+    /// Base register and displacement of a memory access (`offset(rs1)`),
+    /// for loads and stores only.
+    pub fn mem_base(&self) -> Option<(Reg, i64)> {
+        match *self {
+            Inst::Load { rs1, offset, .. } | Inst::Store { rs1, offset, .. } => Some((rs1, offset)),
+            _ => None,
+        }
+    }
+
+    /// Access size in bytes, for loads and stores only.
+    pub fn mem_size(&self) -> Option<u64> {
+        match *self {
+            Inst::Load { op, .. } => Some(op.size()),
+            Inst::Store { op, .. } => Some(op.size()),
+            _ => None,
+        }
+    }
+
+    /// The two registers a conditional branch compares.
+    pub fn branch_sources(&self) -> Option<(Reg, Reg)> {
+        match *self {
+            Inst::Branch { rs1, rs2, .. } => Some((rs1, rs2)),
+            _ => None,
+        }
+    }
+
+    /// If this instruction writes a compile-time constant to its
+    /// destination independent of any register state, returns
+    /// `(rd, value)`. Covers `lui` and `li`-shaped `addi rd, x0, imm`
+    /// (and its `addiw` form). Writes to `x0` return `None`.
+    pub fn writes_const(&self) -> Option<(Reg, u64)> {
+        let (rd, value) = match *self {
+            Inst::Lui { rd, imm } => (rd, imm as u64),
+            Inst::OpImm { op: AluOp::Add, rd, rs1, imm } if rs1.is_zero() => (rd, imm as u64),
+            Inst::OpImm { op: AluOp::AddW, rd, rs1, imm } if rs1.is_zero() => {
+                (rd, imm as i32 as i64 as u64)
+            }
+            _ => return None,
+        };
+        (!rd.is_zero()).then_some((rd, value))
+    }
 }
 
 #[cfg(test)]
@@ -277,6 +319,38 @@ mod tests {
         assert!(AluOp::Add.has_imm_form());
         assert!(!AluOp::Sub.has_imm_form());
         assert!(!AluOp::SubW.has_imm_form());
+    }
+
+    #[test]
+    fn mem_base_and_size() {
+        let ld = Inst::Load { op: LoadOp::Lw, rd: Reg::new(10), rs1: Reg::SP, offset: -16 };
+        assert_eq!(ld.mem_base(), Some((Reg::SP, -16)));
+        assert_eq!(ld.mem_size(), Some(4));
+        let st = Inst::Store { op: StoreOp::Sb, rs1: Reg::new(8), rs2: Reg::new(9), offset: 3 };
+        assert_eq!(st.mem_base(), Some((Reg::new(8), 3)));
+        assert_eq!(st.mem_size(), Some(1));
+        assert_eq!(Inst::NOP.mem_base(), None);
+        assert_eq!(Inst::NOP.mem_size(), None);
+    }
+
+    #[test]
+    fn branch_sources_only_on_branches() {
+        let b = Inst::Branch { op: BranchOp::Bltu, rs1: Reg::new(4), rs2: Reg::new(5), offset: 8 };
+        assert_eq!(b.branch_sources(), Some((Reg::new(4), Reg::new(5))));
+        assert_eq!(Inst::Jal { rd: Reg::ZERO, offset: 8 }.branch_sources(), None);
+    }
+
+    #[test]
+    fn const_writes() {
+        let lui = Inst::Lui { rd: Reg::new(5), imm: 0x12345 << 12 };
+        assert_eq!(lui.writes_const(), Some((Reg::new(5), (0x12345u64) << 12)));
+        let li = Inst::OpImm { op: AluOp::Add, rd: Reg::new(6), rs1: Reg::ZERO, imm: -7 };
+        assert_eq!(li.writes_const(), Some((Reg::new(6), (-7i64) as u64)));
+        // addi from a live register is not a constant write.
+        let addi = Inst::OpImm { op: AluOp::Add, rd: Reg::new(6), rs1: Reg::new(7), imm: 1 };
+        assert_eq!(addi.writes_const(), None);
+        // x0 destination is architecturally void.
+        assert_eq!(Inst::NOP.writes_const(), None);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Property tests closing the full tooling loop over RV64IM:
+//! assembler → encoder → decoder → disassembler.
+//!
+//! `roundtrip.rs` already pins encode↔decode; these properties add the
+//! text layer: disassembly of any label-free instruction is valid
+//! assembler input that lowers back to the same instruction, and whole
+//! assembled programs (labels, branches, calls included) re-encode
+//! word-for-word.
+
+use microsampler_isa::asm::assemble;
+use microsampler_isa::{
+    decode, disassemble, encode, AluOp, BranchOp, CsrOp, Inst, LoadOp, MulDivOp, Reg, StoreOp,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn op_imm() -> impl Strategy<Value = Inst> {
+    // Immediate-form ALU ops with their per-op immediate ranges.
+    prop_oneof![
+        (
+            prop_oneof![
+                Just(AluOp::Add),
+                Just(AluOp::Slt),
+                Just(AluOp::Sltu),
+                Just(AluOp::Xor),
+                Just(AluOp::Or),
+                Just(AluOp::And),
+                Just(AluOp::AddW),
+            ],
+            reg(),
+            reg(),
+            -2048i64..2048,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluOp::Sll), Just(AluOp::Srl), Just(AluOp::Sra)],
+            reg(),
+            reg(),
+            0i64..64,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+        (
+            prop_oneof![Just(AluOp::SllW), Just(AluOp::SrlW), Just(AluOp::SraW)],
+            reg(),
+            reg(),
+            0i64..32,
+        )
+            .prop_map(|(op, rd, rs1, imm)| Inst::OpImm { op, rd, rs1, imm }),
+    ]
+}
+
+fn op_rr() -> impl Strategy<Value = Inst> {
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::AddW),
+        Just(AluOp::SubW),
+        Just(AluOp::SllW),
+        Just(AluOp::SrlW),
+        Just(AluOp::SraW),
+    ];
+    let muldiv = prop_oneof![
+        Just(MulDivOp::Mul),
+        Just(MulDivOp::Mulh),
+        Just(MulDivOp::Mulhsu),
+        Just(MulDivOp::Mulhu),
+        Just(MulDivOp::Div),
+        Just(MulDivOp::Divu),
+        Just(MulDivOp::Rem),
+        Just(MulDivOp::Remu),
+        Just(MulDivOp::MulW),
+        Just(MulDivOp::DivW),
+        Just(MulDivOp::DivuW),
+        Just(MulDivOp::RemW),
+        Just(MulDivOp::RemuW),
+    ];
+    prop_oneof![
+        (alu, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::Op { op, rd, rs1, rs2 }),
+        (muldiv, reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Inst::MulDiv {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+    ]
+}
+
+/// Instructions whose disassembly is valid assembler input (everything
+/// except PC-relative branches/jumps, whose textual form is a label).
+fn label_free_inst() -> impl Strategy<Value = Inst> {
+    let load = prop_oneof![
+        Just(LoadOp::Lb),
+        Just(LoadOp::Lh),
+        Just(LoadOp::Lw),
+        Just(LoadOp::Ld),
+        Just(LoadOp::Lbu),
+        Just(LoadOp::Lhu),
+        Just(LoadOp::Lwu),
+    ];
+    let store =
+        prop_oneof![Just(StoreOp::Sb), Just(StoreOp::Sh), Just(StoreOp::Sw), Just(StoreOp::Sd)];
+    prop_oneof![
+        (reg(), -524288i64..524288).prop_map(|(rd, v)| Inst::Lui { rd, imm: v << 12 }),
+        (reg(), -524288i64..524288).prop_map(|(rd, v)| Inst::Auipc { rd, imm: v << 12 }),
+        (reg(), reg(), -2048i64..2048).prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (load, reg(), reg(), -2048i64..2048).prop_map(|(op, rd, rs1, offset)| Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset
+        }),
+        (store, reg(), reg(), -2048i64..2048).prop_map(|(op, rs1, rs2, offset)| Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset
+        }),
+        op_imm(),
+        op_rr(),
+        (prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)], reg(), reg(), 0u16..4096)
+            .prop_map(|(op, rd, rs1, csr)| Inst::Csr { op, rd, rs1, csr }),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Fence),
+    ]
+}
+
+fn branch_op() -> impl Strategy<Value = BranchOp> {
+    prop_oneof![
+        Just(BranchOp::Beq),
+        Just(BranchOp::Bne),
+        Just(BranchOp::Blt),
+        Just(BranchOp::Bge),
+        Just(BranchOp::Bltu),
+        Just(BranchOp::Bgeu),
+    ]
+}
+
+/// One line of a random program: either a label-free instruction or a
+/// control-flow instruction targeting label `Lk` (k capped to the line
+/// count at render time, so every target exists).
+#[derive(Clone, Debug)]
+enum Line {
+    Plain(Inst),
+    Branch(BranchOp, Reg, Reg, usize),
+    Jump(Reg, usize),
+}
+
+fn line() -> impl Strategy<Value = Line> {
+    prop_oneof![
+        label_free_inst().prop_map(Line::Plain),
+        (branch_op(), reg(), reg(), 0usize..64)
+            .prop_map(|(op, rs1, rs2, t)| Line::Branch(op, rs1, rs2, t)),
+        (reg(), 0usize..64).prop_map(|(rd, t)| Line::Jump(rd, t)),
+    ]
+}
+
+fn branch_name(op: BranchOp) -> &'static str {
+    match op {
+        BranchOp::Beq => "beq",
+        BranchOp::Bne => "bne",
+        BranchOp::Blt => "blt",
+        BranchOp::Bge => "bge",
+        BranchOp::Bltu => "bltu",
+        BranchOp::Bgeu => "bgeu",
+    }
+}
+
+fn render(lines: &[Line]) -> String {
+    let mut src = String::from("_start:\n");
+    for (i, l) in lines.iter().enumerate() {
+        src.push_str(&format!("L{i}:\n"));
+        match l {
+            Line::Plain(inst) => src.push_str(&format!("    {}\n", disassemble(inst))),
+            Line::Branch(op, rs1, rs2, t) => src.push_str(&format!(
+                "    {} {rs1}, {rs2}, L{}\n",
+                branch_name(*op),
+                t % lines.len(),
+            )),
+            Line::Jump(rd, t) => src.push_str(&format!("    jal {rd}, L{}\n", t % lines.len())),
+        }
+    }
+    src
+}
+
+proptest! {
+    /// disassemble → assemble is the identity on label-free instructions.
+    #[test]
+    fn disasm_reassembles_to_same_inst(inst in label_free_inst()) {
+        let src = format!("_start:\n    {}\n", disassemble(&inst));
+        let program = assemble(&src)
+            .unwrap_or_else(|e| panic!("`{}` failed to assemble: {e}", disassemble(&inst)));
+        prop_assert_eq!(program.inst_count(), 1);
+        prop_assert_eq!(program.inst_at(program.entry).unwrap(), inst);
+    }
+
+    /// Whole random programs — labels, branches, jumps included —
+    /// assemble into words that decode, re-encode bit-identically, and
+    /// disassemble to non-empty text.
+    #[test]
+    fn assembled_programs_reencode_word_for_word(
+        lines in proptest::collection::vec(line(), 1..40)
+    ) {
+        let program = assemble(&render(&lines)).expect("generated program assembles");
+        prop_assert_eq!(program.inst_count(), lines.len());
+        for i in 0..program.inst_count() {
+            let pc = program.entry + i as u64 * 4;
+            let inst = program.inst_at(pc).expect("assembled word decodes");
+            prop_assert_eq!(decode(encode(&inst)).unwrap(), inst);
+            prop_assert!(!disassemble(&inst).is_empty());
+        }
+    }
+}

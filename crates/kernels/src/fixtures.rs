@@ -1,0 +1,182 @@
+//! Seeded-leaky kernels: negative controls for the static analyzer.
+//!
+//! Each fixture plants exactly one textbook constant-time violation —
+//! one per violation class — inside an otherwise well-formed trial
+//! driver (same CSR marker protocol as the real kernels). The static
+//! pass must flag all three; the Table V primitives must stay clean.
+
+use crate::secrets::SecretSpec;
+
+/// A deliberately leaky kernel with its expected static finding.
+pub struct LeakyFixture {
+    /// Short name used by `repro lint` and the lint baseline.
+    pub name: &'static str,
+    /// Full assembly source (driver included).
+    pub source: &'static str,
+    /// Taint sources.
+    pub spec: SecretSpec,
+    /// Violation class the static pass must report: 1 = secret-tainted
+    /// branch, 2 = secret-tainted address, 3 = secret operand to a
+    /// variable-latency mul/div.
+    pub expected_class: u8,
+    /// Mnemonic of the violating instruction (the reported PC must
+    /// disassemble to this).
+    pub expected_mnemonic: &'static str,
+}
+
+/// All three seeded-leaky fixtures.
+pub fn all() -> Vec<LeakyFixture> {
+    vec![
+        LeakyFixture {
+            name: "leaky_branchy_memcmp",
+            source: BRANCHY_MEMCMP,
+            spec: SecretSpec::csr_and_regions(&[("key", 16)]),
+            expected_class: 1,
+            expected_mnemonic: "bne",
+        },
+        LeakyFixture {
+            name: "leaky_sbox_index",
+            source: SBOX_INDEX,
+            spec: SecretSpec::csr_only(),
+            expected_class: 2,
+            expected_mnemonic: "lbu",
+        },
+        LeakyFixture {
+            name: "leaky_modexp_divisor",
+            source: MODEXP_DIVISOR,
+            spec: SecretSpec::csr_only(),
+            expected_class: 3,
+            expected_mnemonic: "remu",
+        },
+    ]
+}
+
+/// Looks up a fixture by name.
+pub fn by_name(name: &str) -> Option<LeakyFixture> {
+    all().into_iter().find(|f| f.name == name)
+}
+
+/// Early-exit byte compare against a secret key in `.data`: the `bne` on
+/// a key byte is a class-1 violation (secret-tainted branch condition),
+/// the pattern behind every classic string-compare timing attack.
+const BRANCHY_MEMCMP: &str = r#"
+.data
+key: .byte 0x3a, 0x91, 0x5e, 0xc7, 0x08, 0x44, 0xd2, 0x6f
+     .byte 0x19, 0xaa, 0x0b, 0x7c, 0xe1, 0x53, 0x2d, 0x90
+.text
+_start:
+    csrw 0x8c0, zero
+    csrr s0, 0x8c8          # trials
+mc_trial:
+    beqz s0, mc_done
+    csrr s1, 0x8c8          # guess byte (doubles as the label)
+    csrw 0x8c2, s1
+    la   t0, key
+    li   t2, 16
+    li   a0, 0
+mc_scan:
+    lbu  t3, 0(t0)          # secret key byte
+    bne  t3, s1, mc_fail    # LEAK: branch on a secret comparison
+    addi t0, t0, 1
+    addi t2, t2, -1
+    bgtz t2, mc_scan
+    j    mc_end
+mc_fail:
+    li   a0, 1
+mc_end:
+    csrw 0x8c3, zero
+    csrw 0x8c9, a0
+    addi s0, s0, -1
+    j    mc_trial
+mc_done:
+    csrw 0x8c1, zero
+    ecall
+"#;
+
+/// Direct table indexing with a secret byte: the `lbu` through a
+/// secret-derived pointer is a class-2 violation (secret-tainted
+/// effective address), the AES T-table cache-attack pattern.
+const SBOX_INDEX: &str = r#"
+.data
+sbox: .zero 256
+.text
+_start:
+    csrw 0x8c0, zero
+    csrr s0, 0x8c8          # trials
+sb_trial:
+    beqz s0, sb_done
+    csrr s1, 0x8c8          # secret index (doubles as the label)
+    csrw 0x8c2, s1
+    la   t0, sbox
+    add  t0, t0, s1
+    lbu  a0, 0(t0)          # LEAK: load address depends on the secret
+    csrw 0x8c3, zero
+    csrw 0x8c9, a0
+    addi s0, s0, -1
+    j    sb_trial
+sb_done:
+    csrw 0x8c1, zero
+    ecall
+"#;
+
+/// Square-and-reduce loop with the modulus taken from the secret input:
+/// the `remu` with a secret divisor is a class-3 violation (secret
+/// operand to a variable-latency divide).
+const MODEXP_DIVISOR: &str = r#"
+.text
+_start:
+    csrw 0x8c0, zero
+    csrr s0, 0x8c8          # trials
+mx_trial:
+    beqz s0, mx_done
+    csrr s2, 0x8c8          # secret modulus (doubles as the label)
+    csrw 0x8c2, s2
+    li   t1, 7              # base
+    li   t2, 5              # square-and-reduce rounds
+mx_round:
+    mul  t1, t1, t1
+    remu t1, t1, s2         # LEAK: divider latency keyed by the secret
+    addi t2, t2, -1
+    bgtz t2, mx_round
+    csrw 0x8c3, zero
+    csrw 0x8c9, t1
+    addi s0, s0, -1
+    j    mx_trial
+mx_done:
+    csrw 0x8c1, zero
+    ecall
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+    use microsampler_sim::{CoreConfig, Machine, TraceConfig};
+
+    #[test]
+    fn fixtures_assemble_and_run() {
+        for f in all() {
+            let program = assemble(f.source).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            f.spec.resolve(&program); // symbol references hold
+            let mut m = Machine::with_trace_config(
+                CoreConfig::small_boom(),
+                &program,
+                TraceConfig::default(),
+            );
+            let trials = 4u64;
+            let mut words = vec![trials];
+            words.extend((0..trials).map(|i| i * 37 + 5));
+            m.push_inputs(words);
+            let r = m.run(400_000).unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert_eq!(r.iterations.len(), trials as usize, "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn fixture_names_resolve() {
+        assert!(by_name("leaky_sbox_index").is_some());
+        assert!(by_name("nope").is_none());
+        let classes: Vec<u8> = all().iter().map(|f| f.expected_class).collect();
+        assert_eq!(classes, vec![1, 2, 3]);
+    }
+}

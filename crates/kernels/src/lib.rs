@@ -19,12 +19,18 @@
 //! * [`sbox`] — an extension case study: table-based byte substitution,
 //!   leaky direct indexing vs a constant-time full-table scan.
 //! * [`inputs`] — deterministic random key/input generation.
+//! * [`secrets`] — per-kernel [`secrets::SecretSpec`] taint declarations
+//!   consumed by the `microsampler-ct` static analyzer.
+//! * [`fixtures`] — seeded-leaky negative controls, one per static
+//!   violation class.
 //!
 //! Each kernel pairs its assembly with a Rust reference model; functional
 //! tests run both and require exact agreement.
 
+pub mod fixtures;
 pub mod inputs;
 pub mod memcmp;
 pub mod modexp;
 pub mod openssl;
 pub mod sbox;
+pub mod secrets;

@@ -9,6 +9,7 @@
 //! labeled iteration traces for leakage analysis.
 
 use crate::modexp::ModexpError;
+use crate::secrets::SecretSpec;
 use microsampler_isa::asm::assemble;
 use microsampler_sim::{CoreConfig, Machine, RunResult, TraceConfig};
 use rand::rngs::StdRng;
@@ -248,6 +249,32 @@ impl Primitive {
         ]
     }
 
+    /// The complete assembly source (driver plus primitive body) this
+    /// primitive runs — the same text the dynamic trials assemble, so the
+    /// static analyzer sees exactly what the simulator executes.
+    pub fn source(&self) -> String {
+        match &self.kind {
+            Kind::Scalar { body, .. } => format!("{SCALAR_DRIVER}\nprim:\n{body}\n    ret\n"),
+            Kind::BigNum { roi, .. } => format!("{BN_DRIVER_PRE}\n{roi}\n{BN_DRIVER_POST}"),
+            Kind::SwapBuff => SWAP_BUFF_PROGRAM.to_string(),
+            Kind::Lookup => LOOKUP_PROGRAM.to_string(),
+        }
+    }
+
+    /// Taint sources for static analysis. Every primitive's secrets enter
+    /// through the input CSR; the buffer-staging kernels additionally hold
+    /// secret bytes in named `.data` regions.
+    pub fn secret_spec(&self) -> SecretSpec {
+        match &self.kind {
+            Kind::Scalar { .. } => SecretSpec::csr_only(),
+            Kind::BigNum { .. } => SecretSpec::csr_and_regions(&[("abn", 32), ("bbn", 32)]),
+            Kind::SwapBuff => SecretSpec::csr_and_regions(&[("abuf", 32), ("bbuf", 32)]),
+            // The lookup table itself is public; the secret is the index,
+            // which arrives through the CSR.
+            Kind::Lookup => SecretSpec::csr_only(),
+        }
+    }
+
     /// Runs `trials` labeled trials and verifies outputs against the
     /// reference model.
     ///
@@ -262,11 +289,11 @@ impl Primitive {
         trace: TraceConfig,
     ) -> Result<PrimitiveOutcome, ModexpError> {
         match &self.kind {
-            Kind::Scalar { body, gen, reference } => {
-                self.run_scalar(config, trials, seed, trace, body, *gen, *reference)
+            Kind::Scalar { gen, reference, .. } => {
+                self.run_scalar(config, trials, seed, trace, *gen, *reference)
             }
-            Kind::BigNum { roi, gen, reference } => {
-                self.run_bignum(config, trials, seed, trace, roi, *gen, *reference)
+            Kind::BigNum { gen, reference, .. } => {
+                self.run_bignum(config, trials, seed, trace, *gen, *reference)
             }
             Kind::SwapBuff => self.run_swap_buff(config, trials, seed, trace),
             Kind::Lookup => self.run_lookup(config, trials, seed, trace),
@@ -280,12 +307,10 @@ impl Primitive {
         trials: usize,
         seed: u64,
         trace: TraceConfig,
-        body: &str,
         gen: ScalarGen,
         reference: ScalarRef,
     ) -> Result<PrimitiveOutcome, ModexpError> {
-        let src = format!("{SCALAR_DRIVER}\nprim:\n{body}\n    ret\n");
-        let program = assemble(&src)?;
+        let program = assemble(&self.source())?;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = WARMUP_TRIALS + trials;
         let mut words = vec![total as u64];
@@ -313,12 +338,10 @@ impl Primitive {
         trials: usize,
         seed: u64,
         trace: TraceConfig,
-        roi: &str,
         gen: BnGen,
         reference: BnRef,
     ) -> Result<PrimitiveOutcome, ModexpError> {
-        let src = format!("{BN_DRIVER_PRE}\n{roi}\n{BN_DRIVER_POST}");
-        let program = assemble(&src)?;
+        let program = assemble(&self.source())?;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = WARMUP_TRIALS + trials;
         let mut words = vec![total as u64];
@@ -345,7 +368,7 @@ impl Primitive {
         seed: u64,
         trace: TraceConfig,
     ) -> Result<PrimitiveOutcome, ModexpError> {
-        let program = assemble(SWAP_BUFF_PROGRAM)?;
+        let program = assemble(&self.source())?;
         let mut rng = StdRng::seed_from_u64(seed);
         let total = WARMUP_TRIALS + trials;
         let mut words = vec![total as u64];
@@ -377,7 +400,7 @@ impl Primitive {
         seed: u64,
         trace: TraceConfig,
     ) -> Result<PrimitiveOutcome, ModexpError> {
-        let program = assemble(LOOKUP_PROGRAM)?;
+        let program = assemble(&self.source())?;
         let mut rng = StdRng::seed_from_u64(seed);
         let table: Vec<u64> = (0..16).map(|_| rng.gen()).collect();
         let total = WARMUP_TRIALS + trials;

@@ -1,0 +1,89 @@
+//! Per-kernel secret declarations for static taint analysis.
+//!
+//! The dynamic pipeline learns what is secret from the iteration labels;
+//! a static analyzer has to be told. A [`SecretSpec`] names the taint
+//! sources of one kernel: whether words read from the input CSR (0x8c8)
+//! carry secret data, and which `.data` regions hold secret bytes. The
+//! `microsampler-ct` analyzer seeds its abstract state from this spec.
+
+use microsampler_isa::Program;
+
+/// A named `.data` region holding secret bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SecretRegion {
+    /// Label of the region in the kernel's assembly source.
+    pub symbol: &'static str,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
+/// The taint sources of one kernel.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SecretSpec {
+    /// Words read from the input CSR (0x8c8) are secret. True for every
+    /// Table V primitive: the trial inputs *are* the secret classes.
+    pub csr_input_secret: bool,
+    /// `.data` regions staged with secret bytes.
+    pub regions: Vec<SecretRegion>,
+}
+
+impl SecretSpec {
+    /// Secrets arrive only through the input CSR (scalar primitives,
+    /// table lookup with a secret index).
+    pub fn csr_only() -> SecretSpec {
+        SecretSpec { csr_input_secret: true, regions: Vec::new() }
+    }
+
+    /// Input CSR plus named `.data` regions (buffer-staging kernels).
+    pub fn csr_and_regions(regions: &[(&'static str, u64)]) -> SecretSpec {
+        SecretSpec {
+            csr_input_secret: true,
+            regions: regions.iter().map(|&(symbol, len)| SecretRegion { symbol, len }).collect(),
+        }
+    }
+
+    /// Resolves the declared regions against a program's symbol table into
+    /// `(start, len)` byte ranges relative to the data base.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a declared symbol is missing or not in `.data` — the
+    /// spec and the kernel source ship together, so a mismatch is a bug.
+    pub fn resolve(&self, program: &Program) -> Vec<(u64, u64)> {
+        self.regions
+            .iter()
+            .map(|r| {
+                let sym = program
+                    .symbol(r.symbol)
+                    .unwrap_or_else(|| panic!("secret region `{}` not in symbol table", r.symbol));
+                assert!(
+                    sym.addr >= program.data_base,
+                    "secret region `{}` is not in .data",
+                    r.symbol
+                );
+                (sym.addr - program.data_base, r.len)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+
+    #[test]
+    fn resolve_maps_symbols_to_data_offsets() {
+        let p = assemble(".data\npad: .zero 8\nkey: .zero 16\n.text\nnop\necall\n").unwrap();
+        let spec = SecretSpec::csr_and_regions(&[("key", 16)]);
+        assert_eq!(spec.resolve(&p), vec![(8, 16)]);
+        assert!(spec.csr_input_secret);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in symbol table")]
+    fn resolve_rejects_unknown_symbol() {
+        let p = assemble("nop\necall\n").unwrap();
+        SecretSpec::csr_and_regions(&[("ghost", 8)]).resolve(&p);
+    }
+}

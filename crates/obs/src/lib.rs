@@ -1,6 +1,6 @@
 //! Structured telemetry for the MicroSampler pipeline.
 //!
-//! Four independent, dependency-free layers:
+//! Five independent, dependency-free layers:
 //!
 //! * [`mod@span`] — hierarchical scoped timers over the analysis pipeline
 //!   (simulate → parse → correlate → extract). Near-zero cost when
@@ -14,6 +14,9 @@
 //! * [`json`] — a hand-rolled JSON emitter/parser (the workspace's
 //!   dependency policy forbids serde) rendering stable-schema run
 //!   reports; see `repro --json <dir>`.
+//! * [`sarif`] — a minimal SARIF 2.1.0 emitter over [`json`] so the
+//!   static lint (`repro lint --sarif`) uploads straight into CI code
+//!   scanning.
 //!
 //! # Example
 //!
@@ -37,6 +40,7 @@
 pub mod diag;
 pub mod json;
 pub mod metrics;
+pub mod sarif;
 pub mod span;
 
 pub use diag::Level;

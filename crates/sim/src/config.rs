@@ -46,6 +46,13 @@ pub struct CoreConfig {
     pub n_agus: usize,
     /// Pipelined multiplier latency.
     pub mul_latency: u64,
+    /// Operand-dependent multiplier early-out: a multiply whose either
+    /// operand fits in 16 bits completes in a single cycle instead of
+    /// `mul_latency`. Off in both paper presets (BOOM's multiplier is
+    /// fully pipelined and data-independent); enabling it makes `mul` a
+    /// variable-latency instruction and therefore a timing channel, which
+    /// the static analyzer mirrors in its violation-class-3 rule.
+    pub mul_early_out: bool,
     /// Iterative (blocking) divider latency.
     pub div_latency: u64,
     /// gshare pattern-history-table entries (power of two).
@@ -100,6 +107,7 @@ impl CoreConfig {
             n_alus: 4,
             n_agus: 2,
             mul_latency: 3,
+            mul_early_out: false,
             div_latency: 16,
             bpred_entries: 2048,
             btb_entries: 128,
@@ -149,6 +157,7 @@ impl CoreConfig {
             n_alus: 1,
             n_agus: 1,
             mul_latency: 3,
+            mul_early_out: false,
             div_latency: 16,
             bpred_entries: 2048,
             btb_entries: 64,
@@ -187,6 +196,13 @@ impl CoreConfig {
     /// Same configuration with a seeded random predictor initial state.
     pub fn with_random_bpred(mut self, seed: u64) -> CoreConfig {
         self.bpred_random_init = Some(seed);
+        self
+    }
+
+    /// Same configuration with the operand-dependent multiplier early-out
+    /// enabled (makes `mul` variable-latency).
+    pub fn with_early_out_mul(mut self) -> CoreConfig {
+        self.mul_early_out = true;
         self
     }
 
@@ -245,6 +261,14 @@ mod tests {
     fn fast_bypass_toggle() {
         assert!(!CoreConfig::mega_boom().fast_bypass);
         assert!(CoreConfig::mega_boom().with_fast_bypass().fast_bypass);
+    }
+
+    #[test]
+    fn early_out_mul_toggle() {
+        // Both paper presets keep the pipelined (constant-latency) multiplier.
+        assert!(!CoreConfig::mega_boom().mul_early_out);
+        assert!(!CoreConfig::small_boom().mul_early_out);
+        assert!(CoreConfig::small_boom().with_early_out_mul().mul_early_out);
     }
 
     #[test]

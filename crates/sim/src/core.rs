@@ -836,10 +836,18 @@ impl Core {
                     mul_issued = true;
                     let value = interp::muldiv(op, a, b);
                     let pc = self.rob[idx].pc;
+                    // Operand-dependent early-out (off in the paper presets):
+                    // narrow operands complete in one cycle, making `mul`
+                    // latency secret-dependent.
+                    let latency = if self.cfg.mul_early_out && (a < (1 << 16) || b < (1 << 16)) {
+                        1
+                    } else {
+                        self.cfg.mul_latency
+                    };
                     self.mul_inflight.push(LongOp {
                         seq,
                         pc,
-                        done_cycle: self.cycle + self.cfg.mul_latency,
+                        done_cycle: self.cycle + latency,
                         value,
                     });
                     self.rob[idx].issued = true;
@@ -858,10 +866,11 @@ impl Core {
                     });
                     self.rob[idx].issued = true;
                 }
-                Inst::Load { offset, .. } | Inst::Store { offset, .. } => {
+                Inst::Load { .. } | Inst::Store { .. } => {
                     if agus_used >= self.cfg.n_agus {
                         continue;
                     }
+                    let (_, offset) = inst.mem_base().expect("memory shape");
                     let addr = a.wrapping_add(offset as u64);
                     let pc = self.rob[idx].pc;
                     self.agu_busy[agus_used] = pc;
@@ -1063,10 +1072,7 @@ impl Core {
                     seq,
                     pc: fe.pc,
                     addr: None,
-                    size: match fe.inst {
-                        Inst::Load { op, .. } => op.size(),
-                        _ => unreachable!(),
-                    },
+                    size: fe.inst.mem_size().expect("load shape"),
                     state: LdState::WaitAddr,
                     done_cycle: 0,
                     extra_delay: 0,
@@ -1078,10 +1084,7 @@ impl Core {
                     seq,
                     pc: fe.pc,
                     addr: None,
-                    size: match fe.inst {
-                        Inst::Store { op, .. } => op.size(),
-                        _ => unreachable!(),
-                    },
+                    size: fe.inst.mem_size().expect("store shape"),
                     data: None,
                     state: StState::WaitAddr,
                     drain_done: 0,

@@ -279,13 +279,15 @@ impl Interp {
                     next_pc = self.pc.wrapping_add(offset as u64);
                 }
             }
-            Inst::Load { op, rd, rs1, offset } => {
-                let addr = self.reg(rs1).wrapping_add(offset as u64);
+            Inst::Load { op, rd, .. } => {
+                let (base, disp) = inst.mem_base().expect("load shape");
+                let addr = self.reg(base).wrapping_add(disp as u64);
                 let raw = self.mem.read_le(addr, op.size());
                 self.set_reg(rd, extend_load(op, raw));
             }
-            Inst::Store { op, rs1, rs2, offset } => {
-                let addr = self.reg(rs1).wrapping_add(offset as u64);
+            Inst::Store { op, rs2, .. } => {
+                let (base, disp) = inst.mem_base().expect("store shape");
+                let addr = self.reg(base).wrapping_add(disp as u64);
                 self.mem.write_le(addr, op.size(), self.reg(rs2));
             }
             Inst::OpImm { op, rd, rs1, imm } => {
