@@ -3,12 +3,24 @@
 //! ```text
 //! repro <experiment>... [--keys N] [--key-bytes N] [--reps N]
 //!                       [--trials N] [--seed N] [--threads N]
-//!                       [--full] [--json DIR]
+//!                       [--full] [--json DIR] [--faults SPEC]
+//!                       [--journal FILE] [--resume FILE] [--retries N]
+//!                       [--trial-timeout SECS]
 //! repro lint [--all | <kernel>...] [--static] [--sarif FILE]
 //!            [--baseline FILE] [--trials N] [--seed N] [--threads N]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
+//!
+//! `--faults` injects seed-deterministic microarchitectural faults into
+//! every modexp trial (see `microsampler_sim::FaultConfig`); `--journal`
+//! checkpoints each finished trial as a JSONL record and `--resume`
+//! restores completed trials from such a journal, re-running only the
+//! missing ones. Any of the fault/journal/retry flags routes trials
+//! through the crash-isolation harness: a deadlocked, over-budget, or
+//! panicking trial is quarantined (with bounded retries) and the sweep
+//! completes on the surviving trials, reporting the quarantine list under
+//! `trials` in `--json` run reports.
 //!
 //! `--threads N` sizes the worker pool for trial fan-out and analysis.
 //! Precedence: the `--threads` flag wins over the `MICROSAMPLER_THREADS`
@@ -29,10 +41,12 @@
 //! for trial-N-of-M heartbeats during long sweeps.
 
 use microsampler_bench::experiments as exp;
-use microsampler_bench::{lint, print_cycle_histogram, print_v_chart, Scale};
+use microsampler_bench::{lint, print_cycle_histogram, print_v_chart, sweep, Scale};
 use microsampler_core::association_to_json;
 use microsampler_obs::{diag, diag_error, json, metrics, span, Value};
+use microsampler_sim::FaultConfig;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const EXPERIMENTS: [&str; 16] = [
     "table1",
@@ -66,6 +80,8 @@ fn main() -> ExitCode {
     let mut scale = Scale::default();
     let mut wanted: Vec<String> = Vec::new();
     let mut json_dir: Option<std::path::PathBuf> = None;
+    let mut sweep_opts = sweep::SweepOptions::default();
+    let mut sweep_requested = false;
     let mut i = 0;
     while i < args.len() {
         let take_num = |i: &mut usize| -> usize {
@@ -73,6 +89,10 @@ fn main() -> ExitCode {
             args.get(*i)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_path = |i: &mut usize, flag: &str| -> std::path::PathBuf {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a path after {flag}"))).into()
         };
         match args[i].as_str() {
             "--keys" => scale.keys = take_num(&mut i),
@@ -94,6 +114,43 @@ fn main() -> ExitCode {
                 }
             }
             "--full" => scale = Scale::full(),
+            "--faults" => {
+                i += 1;
+                let spec =
+                    args.get(i).unwrap_or_else(|| fail("expected a fault spec after --faults"));
+                match parse_faults(spec) {
+                    Ok((faults, wedge_trial)) => {
+                        sweep_opts.faults = faults;
+                        sweep_opts.wedge_trial = wedge_trial;
+                        sweep_requested = true;
+                    }
+                    Err(e) => fail(&format!("invalid --faults spec `{spec}`: {e}")),
+                }
+            }
+            "--journal" => {
+                sweep_opts.journal = Some(take_path(&mut i, "--journal"));
+                sweep_requested = true;
+            }
+            "--resume" => {
+                let path = take_path(&mut i, "--resume");
+                // Validate up front: a missing or corrupt journal must be
+                // a usage error, not a silently-ignored restart.
+                if let Err(e) = sweep::load_journal(&path) {
+                    fail(&format!("cannot resume: {e}"));
+                }
+                sweep_opts.journal = Some(path);
+                sweep_opts.resume = true;
+                sweep_requested = true;
+            }
+            "--retries" => {
+                // N retries = N+1 attempts; 0 disables retrying.
+                sweep_opts.policy.max_attempts = take_num(&mut i) as u32 + 1;
+                sweep_requested = true;
+            }
+            "--trial-timeout" => {
+                sweep_opts.policy.timeout = Some(Duration::from_secs(take_num(&mut i) as u64));
+                sweep_requested = true;
+            }
             "--json" => {
                 i += 1;
                 match args.get(i) {
@@ -136,7 +193,18 @@ fn main() -> ExitCode {
             fail(&format!("cannot create --json directory {}: {e}", dir.display()));
         }
     }
+    if sweep_requested {
+        // A fresh (non-resume) journal starts empty; sweeps append to it.
+        if let (Some(path), false) = (&sweep_opts.journal, sweep_opts.resume) {
+            if let Err(e) = std::fs::write(path, "") {
+                fail(&format!("cannot create trial journal {}: {e}", path.display()));
+            }
+        }
+        sweep_opts.isolate = true;
+        sweep::set_options(Some(sweep_opts));
+    }
     for w in &wanted {
+        sweep::reset_events();
         if let Some(dir) = &json_dir {
             span::set_enabled(true);
             metrics::set_enabled(true);
@@ -153,6 +221,7 @@ fn main() -> ExitCode {
                 .field("scale", scale_to_json(&scale))
                 .field("threads", microsampler_par::threads())
                 .field("result", result)
+                .field("trials", sweep::events_to_json())
                 .field("spans", span::nodes_to_json(&spans))
                 .field("metrics", metrics::snapshot_to_json(&snapshot))
                 .build();
@@ -172,6 +241,43 @@ fn fail(msg: &str) -> ! {
     diag_error!("{msg}");
     usage();
     std::process::exit(2)
+}
+
+/// Parses a `--faults` spec: comma-separated `key=value` pairs with keys
+/// `seed`, `squash`, `evict`, `mshr`, `drop`, `flip` (rates are
+/// probabilities per 64k cycles, at most 65536) and `wedge=K` (wedge
+/// trial K's core — a deliberate deadlock).
+fn parse_faults(spec: &str) -> Result<(Option<FaultConfig>, Option<usize>), String> {
+    let mut faults = FaultConfig::default();
+    let mut wedge_trial = None;
+    for part in spec.split(',') {
+        let (key, value) =
+            part.split_once('=').ok_or_else(|| format!("expected key=value, got `{part}`"))?;
+        let num =
+            || value.parse::<u64>().map_err(|_| format!("invalid value `{value}` for `{key}`"));
+        let rate = || -> Result<u32, String> {
+            let v = num()?;
+            if v > 65536 {
+                return Err(format!("rate `{key}={v}` exceeds 65536 (probability per 64k)"));
+            }
+            Ok(v as u32)
+        };
+        match key {
+            "seed" => faults.seed = num()?,
+            "squash" => faults.squash_per_64k = rate()?,
+            "evict" => faults.evict_per_64k = rate()?,
+            "mshr" => faults.mshr_stall_per_64k = rate()?,
+            "drop" => faults.drop_row_per_64k = rate()?,
+            "flip" => faults.bitflip_per_64k = rate()?,
+            "wedge" => wedge_trial = Some(num()? as usize),
+            other => {
+                return Err(format!(
+                    "unknown fault key `{other}` (expected seed/squash/evict/mshr/drop/flip/wedge)"
+                ))
+            }
+        }
+    }
+    Ok((faults.any().then_some(faults), wedge_trial))
 }
 
 /// `repro lint [--all | <kernel>...] [--static] [--sarif FILE]
@@ -314,7 +420,8 @@ fn check_baseline(path: &std::path::Path, results: &[lint::LintResult]) -> Resul
 fn usage() {
     eprintln!(
         "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] \
-         [--seed N] [--threads N] [--full] [--json DIR]"
+         [--seed N] [--threads N] [--full] [--json DIR] [--faults SPEC] [--journal FILE] \
+         [--resume FILE] [--retries N] [--trial-timeout SECS]"
     );
     eprintln!(
         "       repro lint [--all | <kernel>...] [--static] [--sarif FILE] [--baseline FILE] \
@@ -322,6 +429,22 @@ fn usage() {
     );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
+    eprintln!(
+        "--faults SPEC injects microarchitectural faults into every trial; SPEC is \
+         comma-separated key=value with keys seed, squash, evict, mshr, drop, flip \
+         (rates per 64k cycles, max 65536) and wedge=K (deadlock trial K)"
+    );
+    eprintln!(
+        "--journal FILE appends one JSONL record per finished trial; --resume FILE \
+         restores completed trials from a journal and re-runs only the missing ones"
+    );
+    eprintln!(
+        "--retries N retries failing trials up to N times (default 1); \
+         --trial-timeout SECS quarantines trials exceeding the wall-clock budget. \
+         Any of these flags routes trials through the isolation harness: failing \
+         trials are quarantined (listed under `trials` in --json reports) instead \
+         of aborting the sweep"
+    );
     eprintln!(
         "--threads N sizes the worker pool; precedence: --threads, then the \
          MICROSAMPLER_THREADS env var, then all available cores"
@@ -450,6 +573,9 @@ fn run(which: &str, scale: &Scale) -> Value {
                     r.max_v,
                     r.escalation_rounds,
                 );
+                if let Some(e) = &r.error {
+                    println!("{:<34} error: {e}", "");
+                }
             }
             let flagged = rows.iter().filter(|r| r.leak_identified).count();
             println!("flagged: {flagged}/27 (paper: 0/27; CRYPTO_memcmp — see fig10 — leaks)");
@@ -462,6 +588,7 @@ fn run(which: &str, scale: &Scale) -> Value {
                             .field("leak_identified", r.leak_identified)
                             .field("max_v", r.max_v)
                             .field("escalation_rounds", r.escalation_rounds)
+                            .field("error", r.error.as_deref().map_or(Value::Null, Value::from))
                             .build()
                     })
                     .collect(),

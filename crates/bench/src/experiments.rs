@@ -83,6 +83,11 @@ pub struct Table5Row {
     pub max_v: f64,
     /// Escalation rounds used to confirm/clear significance.
     pub escalation_rounds: usize,
+    /// Simulator error, if the audit could not complete. A first-run
+    /// failure quarantines the row (no verdict); a failure during an
+    /// escalation round leaves the partial verdict standing with the
+    /// error attached.
+    pub error: Option<String>,
 }
 
 /// Table V: the 27 OpenSSL `constant_time_*` primitives (the
@@ -99,38 +104,67 @@ pub fn table5(scale: &Scale) -> Vec<Table5Row> {
     // The 27 primitives are independent audits (each with its own
     // escalation loop); fan them out and keep the rows in table order.
     microsampler_par::map(&primitives, |_, prim| {
-        let first = prim
-            .run(
-                CoreConfig::mega_boom(),
-                scale.primitive_trials,
-                scale.seed,
-                TraceConfig::default(),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
-        let mut functional_ok = first.functional_ok;
-        let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
-            let extra = prim
-                .run(
-                    CoreConfig::mega_boom(),
-                    scale.primitive_trials * 2,
-                    scale.seed + round as u64 * 7919,
-                    TraceConfig::default(),
-                )
-                .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
-            functional_ok &= extra.functional_ok;
-            extra.result.iterations
-        });
-        let max_v = outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
+        let row = table5_row(&analyzer, prim, scale);
         let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
         diag::progress("table5", finished, total);
-        Table5Row {
-            name: prim.name.to_owned(),
-            leak_identified: outcome.report.is_leaky(),
-            functional_ok,
-            max_v,
-            escalation_rounds: outcome.rounds,
-        }
+        row
     })
+}
+
+/// Audits one Table V primitive. A simulator failure never panics the
+/// sweep: the row is quarantined (first run) or annotated (escalation
+/// round) and the remaining 26 audits proceed.
+fn table5_row(analyzer: &Analyzer, prim: &Primitive, scale: &Scale) -> Table5Row {
+    let audit = |trials: usize, seed: u64| {
+        prim.run(CoreConfig::mega_boom(), trials, seed, TraceConfig::default())
+            .map_err(|e| format!("{}: {e}", prim.name))
+    };
+    let first = match audit(scale.primitive_trials, scale.seed) {
+        Ok(first) => first,
+        Err(e) => {
+            microsampler_obs::metrics::record("trial.quarantined", 1.0);
+            crate::sweep::record_event(crate::sweep::TrialEvent {
+                id: format!("table5/{}", prim.name),
+                kind: crate::sweep::TrialEventKind::Quarantined,
+                class: Some(microsampler_par::FailureClass::SimError),
+                message: Some(e.clone()),
+                attempts: 1,
+            });
+            return Table5Row {
+                name: prim.name.to_owned(),
+                leak_identified: false,
+                functional_ok: false,
+                max_v: 0.0,
+                escalation_rounds: 0,
+                error: Some(e),
+            };
+        }
+    };
+    let mut functional_ok = first.functional_ok;
+    let mut escalation_error = None;
+    let outcome = analyzer.analyze_with_escalation(first.result.iterations, 4, |round| {
+        match audit(scale.primitive_trials * 2, scale.seed + round as u64 * 7919) {
+            Ok(extra) => {
+                functional_ok &= extra.functional_ok;
+                extra.result.iterations
+            }
+            Err(e) => {
+                escalation_error = Some(format!("escalation round {round}: {e}"));
+                // An empty batch stops the escalation loop; the verdict
+                // from the iterations gathered so far stands.
+                Vec::new()
+            }
+        }
+    });
+    let max_v = outcome.report.units.iter().map(|u| u.assoc.cramers_v).fold(0.0f64, f64::max);
+    Table5Row {
+        name: prim.name.to_owned(),
+        leak_identified: outcome.report.is_leaky(),
+        functional_ok,
+        max_v,
+        escalation_rounds: outcome.rounds,
+        error: escalation_error,
+    }
 }
 
 /// Table VI: per-stage analysis-time breakdown, following the paper's

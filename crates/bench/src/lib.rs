@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod lint;
+pub mod sweep;
 
 use microsampler_core::{analyze, AnalysisReport};
 use microsampler_kernels::inputs::random_keys;
@@ -52,10 +53,17 @@ impl Scale {
 /// concatenated in key order, so the result is bit-identical to a serial
 /// sweep at every thread count.
 ///
+/// When the `repro` CLI has installed [`sweep::SweepOptions`] that demand
+/// isolation (fault injection, a journal, resume, or `--retries`), the
+/// per-key trials are routed through [`sweep::run_modexp_sweep`] instead:
+/// failing trials are quarantined and the pooled iterations cover the
+/// surviving trials only.
+///
 /// # Panics
 ///
-/// Panics if a kernel fails to assemble or simulate, or if the simulated
-/// result diverges from the reference model (a harness bug).
+/// On the legacy fail-fast path (no sweep options installed): panics if a
+/// kernel fails to assemble or simulate, or if the simulated result
+/// diverges from the reference model (a harness bug).
 pub fn run_modexp_iterations(
     variant: ModexpVariant,
     config: &CoreConfig,
@@ -63,6 +71,9 @@ pub fn run_modexp_iterations(
     key_bytes: usize,
     seed: u64,
 ) -> Vec<IterationTrace> {
+    if let Some(opts) = sweep::options().filter(sweep::SweepOptions::wants_isolation) {
+        return sweep::run_modexp_sweep(variant, config, n_keys, key_bytes, seed, &opts).iterations;
+    }
     let kernel = ModexpKernel::new(variant, key_bytes);
     let keys = random_keys(n_keys, key_bytes, seed);
     let done = std::sync::atomic::AtomicUsize::new(0);

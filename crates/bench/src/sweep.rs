@@ -1,0 +1,584 @@
+//! Crash-resilient sweep harness: fault-injected trials, per-trial
+//! isolation with bounded retry, and a JSONL journal enabling
+//! checkpoint/resume (`repro --resume`).
+//!
+//! The harness wraps the same per-key modexp trials that
+//! [`run_modexp_iterations`](crate::run_modexp_iterations) fans out, but
+//! runs each one behind [`microsampler_par::map_isolated`]: a trial that
+//! deadlocks, exhausts its cycle budget, or panics is *quarantined* — the
+//! sweep completes with partial results and the quarantine list flows into
+//! the `repro --json` run report instead of sinking hours of work.
+//!
+//! # Journal format
+//!
+//! The journal is append-only JSONL: one `microsampler-trial-v1` object
+//! per line, written as each trial finishes (so a crash loses at most the
+//! in-flight trials). Completed lines carry the trial's iteration
+//! snapshots with per-unit hashes and feature orders — everything the
+//! analyzer needs — but not raw matrices; quarantined lines carry the
+//! failure class, message, and attempt count. On resume, completed trials
+//! are restored from the journal and only the missing ones re-run;
+//! quarantined trials are retried.
+
+use microsampler_kernels::inputs::random_keys;
+use microsampler_kernels::modexp::{self, ModexpKernel, ModexpVariant};
+use microsampler_obs::{diag, diag_warn, json, Value};
+use microsampler_par::{FailureClass, IsolationPolicy, TrialOutcome};
+use microsampler_sim::{CoreConfig, FaultConfig, IterationTrace, TraceConfig, UnitTrace};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Schema tag on every journal line.
+pub const TRIAL_SCHEMA: &str = "microsampler-trial-v1";
+
+/// Harness-wide sweep configuration, installed by the `repro` CLI via
+/// [`set_options`] and consulted by
+/// [`run_modexp_iterations`](crate::run_modexp_iterations). The default
+/// (no options installed) preserves the legacy fail-fast panic path
+/// bit-for-bit.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Fault-injection rates applied to every trial (re-seeded per trial
+    /// and per attempt via [`FaultConfig::for_trial`]).
+    pub faults: Option<FaultConfig>,
+    /// Trial index whose core is wedged at [`microsampler_sim::WEDGE_CYCLE`]
+    /// (a deliberate deadlock, for exercising quarantine end-to-end).
+    pub wedge_trial: Option<usize>,
+    /// Run trials behind the isolation boundary even with no faults or
+    /// journal configured.
+    pub isolate: bool,
+    /// Retry/timeout policy for isolated trials.
+    pub policy: IsolationPolicy,
+    /// Append-only JSONL trial journal.
+    pub journal: Option<PathBuf>,
+    /// Restore completed trials from the journal before running.
+    pub resume: bool,
+    /// Per-trial cycle budget override (default: the kernel's own
+    /// [`modexp::cycle_budget`]).
+    pub max_cycles: Option<u64>,
+}
+
+impl SweepOptions {
+    /// Whether any knob requires routing trials through the isolation
+    /// harness instead of the legacy fail-fast path.
+    pub fn wants_isolation(&self) -> bool {
+        self.isolate
+            || self.faults.is_some()
+            || self.wedge_trial.is_some()
+            || self.journal.is_some()
+            || self.resume
+            || self.max_cycles.is_some()
+    }
+}
+
+static OPTIONS: Mutex<Option<SweepOptions>> = Mutex::new(None);
+
+/// Installs (or clears) the process-wide sweep options.
+pub fn set_options(opts: Option<SweepOptions>) {
+    *OPTIONS.lock().unwrap_or_else(|p| p.into_inner()) = opts;
+}
+
+/// The currently installed sweep options, if any.
+pub fn options() -> Option<SweepOptions> {
+    OPTIONS.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// What happened to one trial, for the run report's `trials` section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrialEventKind {
+    /// Ran to completion this invocation.
+    Completed,
+    /// Restored from the resume journal without re-running.
+    Restored,
+    /// Exhausted its attempt budget and was dropped from the pool.
+    Quarantined,
+}
+
+/// One entry in the per-run trial event registry.
+#[derive(Clone, Debug)]
+pub struct TrialEvent {
+    /// Stable trial id (also the journal key).
+    pub id: String,
+    /// Outcome kind.
+    pub kind: TrialEventKind,
+    /// Failure class for quarantined trials.
+    pub class: Option<FailureClass>,
+    /// Failure message for quarantined trials.
+    pub message: Option<String>,
+    /// Attempts made (0 for restored trials).
+    pub attempts: u32,
+}
+
+static EVENTS: Mutex<Vec<TrialEvent>> = Mutex::new(Vec::new());
+
+/// Clears the trial event registry (call per experiment).
+pub fn reset_events() {
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner()).clear();
+}
+
+/// Appends one event to the registry.
+pub fn record_event(event: TrialEvent) {
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner()).push(event);
+}
+
+/// Snapshot of the registry.
+pub fn events() -> Vec<TrialEvent> {
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// Renders the registry for the run report: completed/restored counts
+/// plus the full quarantine list (stable schema: `completed`, `restored`,
+/// `quarantined` with `id`/`class`/`message`/`attempts` each).
+pub fn events_to_json() -> Value {
+    let events = events();
+    let count = |k: TrialEventKind| events.iter().filter(|e| e.kind == k).count();
+    let quarantined: Vec<Value> = events
+        .iter()
+        .filter(|e| e.kind == TrialEventKind::Quarantined)
+        .map(|e| {
+            Value::object()
+                .field("id", e.id.as_str())
+                .field("class", e.class.map_or("unknown", FailureClass::name))
+                .field("message", e.message.as_deref().unwrap_or(""))
+                .field("attempts", e.attempts)
+                .build()
+        })
+        .collect();
+    Value::object()
+        .field("completed", count(TrialEventKind::Completed))
+        .field("restored", count(TrialEventKind::Restored))
+        .field("quarantined", Value::Array(quarantined))
+        .build()
+}
+
+/// A trial dropped from the pooled results after exhausting its retries.
+#[derive(Clone, Debug)]
+pub struct QuarantinedTrial {
+    /// Stable trial id.
+    pub id: String,
+    /// How the final attempt failed.
+    pub class: FailureClass,
+    /// Error or panic message from the final attempt.
+    pub message: String,
+    /// Attempts made.
+    pub attempts: u32,
+}
+
+/// Result of [`run_modexp_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Pooled iterations from completed and restored trials, in key order.
+    pub iterations: Vec<IterationTrace>,
+    /// Trials run to completion this invocation.
+    pub completed: usize,
+    /// Trials restored from the resume journal.
+    pub restored: usize,
+    /// Trials dropped after exhausting their retries.
+    pub quarantined: Vec<QuarantinedTrial>,
+}
+
+fn unit_to_json(u: &UnitTrace) -> Value {
+    Value::object()
+        .field("hash", u.hash)
+        .field("hash_timeless", u.hash_timeless)
+        .field("cycle_rows", u.cycle_rows)
+        .field("order", Value::array(u.order.iter().copied()))
+        .build()
+}
+
+fn iteration_to_json(it: &IterationTrace) -> Value {
+    Value::object()
+        .field("label", it.label)
+        .field("start_cycle", it.start_cycle)
+        .field("end_cycle", it.end_cycle)
+        .field("dropped_cycles", it.dropped_cycles)
+        .field("units", Value::Array(it.units.iter().map(unit_to_json).collect()))
+        .build()
+}
+
+/// One completed journal line (compact JSON, no trailing newline).
+fn completed_line(id: &str, iterations: &[IterationTrace]) -> String {
+    Value::object()
+        .field("schema", TRIAL_SCHEMA)
+        .field("id", id)
+        .field("status", "completed")
+        .field("iterations", Value::Array(iterations.iter().map(iteration_to_json).collect()))
+        .build()
+        .render_compact()
+}
+
+/// One quarantined journal line (compact JSON, no trailing newline).
+fn quarantined_line(q: &QuarantinedTrial) -> String {
+    Value::object()
+        .field("schema", TRIAL_SCHEMA)
+        .field("id", q.id.as_str())
+        .field("status", "quarantined")
+        .field("class", q.class.name())
+        .field("message", q.message.as_str())
+        .field("attempts", q.attempts)
+        .build()
+        .render_compact()
+}
+
+fn need_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing or non-integer `{key}`"))
+}
+
+fn unit_from_json(v: &Value) -> Result<UnitTrace, String> {
+    let order: Vec<u64> = v
+        .get("order")
+        .and_then(Value::as_array)
+        .ok_or("unit lacks `order`")?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| "non-integer feature in `order`".to_string()))
+        .collect::<Result<_, _>>()?;
+    Ok(UnitTrace {
+        hash: need_u64(v, "hash")?,
+        hash_timeless: need_u64(v, "hash_timeless")?,
+        // The tracer maintains `features == set(order)`; rebuild instead
+        // of journaling both.
+        features: order.iter().copied().collect(),
+        order,
+        rows: None,
+        cycle_rows: need_u64(v, "cycle_rows")?,
+    })
+}
+
+fn iteration_from_json(v: &Value) -> Result<IterationTrace, String> {
+    let units = v
+        .get("units")
+        .and_then(Value::as_array)
+        .ok_or("iteration lacks `units`")?
+        .iter()
+        .map(unit_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(IterationTrace {
+        label: need_u64(v, "label")?,
+        start_cycle: need_u64(v, "start_cycle")?,
+        end_cycle: need_u64(v, "end_cycle")?,
+        dropped_cycles: need_u64(v, "dropped_cycles")?,
+        units,
+    })
+}
+
+/// Parsed journal contents: completed trials by id. Quarantined lines are
+/// validated but not restored — a resumed run retries them.
+#[derive(Clone, Debug, Default)]
+pub struct JournalState {
+    /// Completed trials: id → iteration snapshots.
+    pub completed: BTreeMap<String, Vec<IterationTrace>>,
+}
+
+/// Loads a trial journal written by a previous sweep.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line for unreadable files,
+/// invalid JSON, schema mismatches, and malformed trial records.
+pub fn load_journal(path: &Path) -> Result<JournalState, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+    let mut state = JournalState::default();
+    for (idx, line) in text.lines().enumerate() {
+        let context = |msg: String| format!("journal {} line {}: {msg}", path.display(), idx + 1);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| context(e.to_string()))?;
+        if v.get("schema").and_then(Value::as_str) != Some(TRIAL_SCHEMA) {
+            return Err(context(format!("expected schema {TRIAL_SCHEMA}")));
+        }
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .ok_or_else(|| context("missing `id`".to_string()))?
+            .to_owned();
+        match v.get("status").and_then(Value::as_str) {
+            Some("completed") => {
+                let iterations = v
+                    .get("iterations")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| context("missing `iterations`".to_string()))?
+                    .iter()
+                    .map(iteration_from_json)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(context)?;
+                // Later lines win: a re-run trial supersedes its older
+                // journal entry.
+                state.completed.insert(id, iterations);
+            }
+            Some("quarantined") => {}
+            _ => return Err(context("missing or unknown `status`".to_string())),
+        }
+    }
+    Ok(state)
+}
+
+fn append_line(journal: &Mutex<File>, line: &str) {
+    let mut file = journal.lock().unwrap_or_else(|p| p.into_inner());
+    if let Err(e) = writeln!(file, "{line}") {
+        diag_warn!("trial journal write failed: {e}");
+    }
+}
+
+/// Runs a modexp variant over `n_keys` random keys with per-trial fault
+/// isolation, journaling, and resume, per `opts`.
+///
+/// Trial ids are stable across invocations (variant, core config,
+/// key-bytes, seed, key index), so a journal written at one thread count
+/// resumes correctly at any other. Pooled iterations are concatenated in
+/// key order regardless of which trials were restored, so the analysis is
+/// bit-identical to an uninterrupted sweep over the same surviving
+/// trials.
+pub fn run_modexp_sweep(
+    variant: ModexpVariant,
+    config: &CoreConfig,
+    n_keys: usize,
+    key_bytes: usize,
+    seed: u64,
+    opts: &SweepOptions,
+) -> SweepOutcome {
+    let kernel = ModexpKernel::new(variant, key_bytes);
+    let keys = random_keys(n_keys, key_bytes, seed);
+    let fb = if config.fast_bypass { "+fb" } else { "" };
+    let trial_id = |i: usize| -> String {
+        format!("{}/{}{fb}/kb{key_bytes}/s{seed}/key{i:04}", variant.name(), config.name)
+    };
+
+    let mut restored: BTreeMap<usize, Vec<IterationTrace>> = BTreeMap::new();
+    if opts.resume {
+        if let Some(path) = &opts.journal {
+            match load_journal(path) {
+                Ok(state) => {
+                    for i in 0..n_keys {
+                        if let Some(iters) = state.completed.get(&trial_id(i)) {
+                            restored.insert(i, iters.clone());
+                        }
+                    }
+                }
+                Err(e) => diag_warn!("resume ignored: {e}"),
+            }
+        }
+    }
+    for &i in restored.keys() {
+        record_event(TrialEvent {
+            id: trial_id(i),
+            kind: TrialEventKind::Restored,
+            class: None,
+            message: None,
+            attempts: 0,
+        });
+    }
+
+    let journal: Option<Mutex<File>> =
+        opts.journal.as_ref().and_then(|path| {
+            match File::options().create(true).append(true).open(path) {
+                Ok(f) => Some(Mutex::new(f)),
+                Err(e) => {
+                    diag_warn!("cannot open trial journal {}: {e}", path.display());
+                    None
+                }
+            }
+        });
+
+    let work: Vec<usize> = (0..n_keys).filter(|i| !restored.contains_key(i)).collect();
+    let total = work.len();
+    let done = AtomicUsize::new(0);
+    let outcomes = microsampler_par::map_isolated(&opts.policy, &work, |_, &i, attempt| {
+        let wedge = opts.wedge_trial == Some(i);
+        // Re-seed per trial *and* per attempt: a retry explores a fresh
+        // fault schedule, while `--threads N` determinism holds because
+        // the schedule depends only on (seed, trial, attempt).
+        let faults = match opts.faults {
+            Some(fc) => {
+                let mut fc = fc.for_trial(i as u64, attempt);
+                fc.wedge = fc.wedge || wedge;
+                Some(fc)
+            }
+            None if wedge => Some(FaultConfig { wedge: true, ..FaultConfig::default() }),
+            None => None,
+        };
+        let mut cfg = config.clone();
+        cfg.faults = faults;
+        let trace = TraceConfig { faults, ..TraceConfig::default() };
+        let key = &keys[i];
+        let mut machine =
+            kernel.machine(cfg, key, trace).map_err(|e| format!("{}: {e}", variant.name()))?;
+        let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
+        let run = machine.run(budget).map_err(|e| format!("{}: {e}", variant.name()))?;
+        let want = kernel.reference(key);
+        if run.exit_code != want {
+            return Err(format!(
+                "{} functional mismatch: got {}, want {want}",
+                variant.name(),
+                run.exit_code
+            ));
+        }
+        if let Some(j) = &journal {
+            append_line(j, &completed_line(&trial_id(i), &run.iterations));
+        }
+        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+        diag::progress(variant.name(), finished, total);
+        Ok(run.iterations)
+    });
+
+    let fresh: BTreeMap<usize, TrialOutcome<Vec<IterationTrace>>> =
+        work.into_iter().zip(outcomes).collect();
+    let mut out = SweepOutcome {
+        iterations: Vec::new(),
+        completed: 0,
+        restored: restored.len(),
+        quarantined: Vec::new(),
+    };
+    for i in 0..n_keys {
+        if let Some(iters) = restored.remove(&i) {
+            out.iterations.extend(iters);
+            continue;
+        }
+        match fresh.get(&i) {
+            Some(TrialOutcome::Completed(iters)) => {
+                out.completed += 1;
+                record_event(TrialEvent {
+                    id: trial_id(i),
+                    kind: TrialEventKind::Completed,
+                    class: None,
+                    message: None,
+                    attempts: 0,
+                });
+                out.iterations.extend(iters.iter().cloned());
+            }
+            Some(TrialOutcome::Failed(f)) => {
+                let q = QuarantinedTrial {
+                    id: trial_id(i),
+                    class: f.class,
+                    message: f.message.clone(),
+                    attempts: f.attempts,
+                };
+                diag_warn!(
+                    "quarantined {} after {} attempts ({}): {}",
+                    q.id,
+                    q.attempts,
+                    q.class,
+                    q.message
+                );
+                if let Some(j) = &journal {
+                    append_line(j, &quarantined_line(&q));
+                }
+                record_event(TrialEvent {
+                    id: q.id.clone(),
+                    kind: TrialEventKind::Quarantined,
+                    class: Some(q.class),
+                    message: Some(q.message.clone()),
+                    attempts: q.attempts,
+                });
+                out.quarantined.push(q);
+            }
+            None => unreachable!("every non-restored index has an outcome"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_iteration(label: u64) -> IterationTrace {
+        let unit = |hash: u64| UnitTrace {
+            hash,
+            hash_timeless: hash ^ 0xff,
+            features: [hash, 3].into_iter().collect(),
+            order: vec![hash, 3],
+            rows: None,
+            cycle_rows: 7,
+        };
+        IterationTrace {
+            label,
+            start_cycle: 100,
+            end_cycle: 140,
+            dropped_cycles: 2,
+            units: vec![unit(0xdead_beef_dead_beef), unit(42)],
+        }
+    }
+
+    #[test]
+    fn journal_lines_round_trip() {
+        let iters = vec![sample_iteration(0), sample_iteration(1)];
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-roundtrip-{}.jsonl", std::process::id()));
+        let text = format!(
+            "{}\n{}\n",
+            completed_line("v/mega/kb4/s42/key0000", &iters),
+            quarantined_line(&QuarantinedTrial {
+                id: "v/mega/kb4/s42/key0001".into(),
+                class: FailureClass::SimError,
+                message: "deadlock".into(),
+                attempts: 2,
+            })
+        );
+        std::fs::write(&path, text).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.completed.len(), 1, "quarantined lines are not restored");
+        let restored = &state.completed["v/mega/kb4/s42/key0000"];
+        assert_eq!(restored, &iters, "features/order/hashes survive the round trip");
+        assert_eq!(restored[0].units[0].features, iters[0].units[0].features);
+    }
+
+    #[test]
+    fn load_journal_rejects_malformed_lines() {
+        let dir = std::env::temp_dir();
+        let cases = [
+            ("not json at all", "bad-json"),
+            ("{\"schema\":\"wrong-schema\",\"id\":\"x\",\"status\":\"completed\"}", "bad-schema"),
+            ("{\"schema\":\"microsampler-trial-v1\",\"status\":\"completed\"}", "no-id"),
+            ("{\"schema\":\"microsampler-trial-v1\",\"id\":\"x\"}", "no-status"),
+            (
+                "{\"schema\":\"microsampler-trial-v1\",\"id\":\"x\",\"status\":\"completed\"}",
+                "no-iterations",
+            ),
+        ];
+        for (line, tag) in cases {
+            let path = dir.join(format!("microsampler-journal-{tag}-{}.jsonl", std::process::id()));
+            std::fs::write(&path, format!("{line}\n")).unwrap();
+            let got = load_journal(&path);
+            std::fs::remove_file(&path).ok();
+            assert!(got.is_err(), "{tag} must be rejected");
+            assert!(got.unwrap_err().contains("line 1"), "{tag} error names the line");
+        }
+        assert!(load_journal(Path::new("/nonexistent/journal.jsonl")).is_err());
+    }
+
+    #[test]
+    fn events_registry_renders_stable_json() {
+        reset_events();
+        record_event(TrialEvent {
+            id: "a".into(),
+            kind: TrialEventKind::Completed,
+            class: None,
+            message: None,
+            attempts: 0,
+        });
+        record_event(TrialEvent {
+            id: "b".into(),
+            kind: TrialEventKind::Quarantined,
+            class: Some(FailureClass::Panicked),
+            message: Some("boom".into()),
+            attempts: 1,
+        });
+        let v = events_to_json();
+        reset_events();
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("restored").unwrap().as_u64(), Some(0));
+        let q = v.get("quarantined").unwrap().as_array().unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].get("id").unwrap().as_str(), Some("b"));
+        assert_eq!(q[0].get("class").unwrap().as_str(), Some("panicked"));
+        assert_eq!(q[0].get("attempts").unwrap().as_u64(), Some(1));
+    }
+}

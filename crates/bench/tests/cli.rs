@@ -1,0 +1,122 @@
+//! End-to-end `repro` CLI tests: flag validation exit codes and the
+//! fault-injection → quarantine → resume loop through the real binary.
+
+use microsampler_obs::{json, Value};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("microsampler-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn bad_flags_exit_with_usage_error() {
+    let cases: &[&[&str]] = &[
+        &["fig7", "--threads", "0"],
+        &["fig7", "--threads", "-3"],
+        &["fig7", "--threads", "abc"],
+        &["fig7", "--threads"],
+        &["fig7", "--faults", "bogus"],
+        &["fig7", "--faults", "rate=1"],
+        &["fig7", "--faults", "drop=99999"],
+        &["fig7", "--faults", "drop=abc"],
+        &["fig7", "--faults"],
+        &["fig7", "--resume", "/nonexistent/journal.jsonl"],
+        &["fig7", "--keys", "0"],
+        &["nonsense-experiment"],
+    ];
+    for args in cases {
+        let out = repro().args(*args).output().expect("repro runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?} must exit 2; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn malformed_resume_journal_exits_with_usage_error() {
+    let dir = tmp_dir("badjournal");
+    let journal = dir.join("journal.jsonl");
+    std::fs::write(&journal, "this is not json\n").unwrap();
+    let out = repro().args(["fig7", "--resume"]).arg(&journal).output().expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "error should name the bad line: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance scenario: a sweep containing an always-deadlocking
+/// trial completes with exit 0, reports the quarantined trial in the
+/// `--json` run report and the journal, and `--resume` re-runs only the
+/// missing trial.
+#[test]
+fn wedged_sweep_completes_quarantines_and_resumes() {
+    let dir = tmp_dir("wedge");
+    let journal = dir.join("trials.jsonl");
+    let reports = dir.join("reports");
+    let base = ["fig7", "--keys", "2", "--key-bytes", "1", "--threads", "2", "--retries", "1"];
+
+    let out = repro()
+        .args(base)
+        .args(["--faults", "wedge=0", "--journal"])
+        .arg(&journal)
+        .arg("--json")
+        .arg(&reports)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "a wedged trial must not sink the sweep; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let report = parse_report(&reports.join("fig7.json"));
+    let trials = report.get("trials").expect("run report carries a trials section");
+    assert_eq!(trials.get("completed").unwrap().as_u64(), Some(1));
+    assert_eq!(trials.get("restored").unwrap().as_u64(), Some(0));
+    let quarantined = trials.get("quarantined").unwrap().as_array().unwrap();
+    assert_eq!(quarantined.len(), 1, "the wedged trial is enumerated");
+    let q = &quarantined[0];
+    assert!(q.get("id").unwrap().as_str().unwrap().ends_with("key0000"));
+    assert_eq!(q.get("class").unwrap().as_str(), Some("sim-error"));
+    assert_eq!(q.get("attempts").unwrap().as_u64(), Some(2), "--retries 1 means 2 attempts");
+
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    assert!(journal_text.contains("\"status\":\"completed\""));
+    assert!(journal_text.contains("\"status\":\"quarantined\""));
+
+    // Resume without the wedge: the quarantined trial re-runs, the
+    // completed one is restored, and the sweep reports no quarantine.
+    let out = repro()
+        .args(base)
+        .arg("--resume")
+        .arg(&journal)
+        .arg("--json")
+        .arg(&reports)
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let report = parse_report(&reports.join("fig7.json"));
+    let trials = report.get("trials").unwrap();
+    assert_eq!(trials.get("restored").unwrap().as_u64(), Some(1), "journaled trial not re-run");
+    assert_eq!(trials.get("completed").unwrap().as_u64(), Some(1), "missing trial re-ran");
+    assert_eq!(trials.get("quarantined").unwrap().as_array().unwrap().len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn parse_report(path: &std::path::Path) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let v = json::parse(&text).expect("run report parses");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("microsampler-run-report-v1"));
+    v
+}

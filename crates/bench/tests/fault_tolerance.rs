@@ -1,0 +1,153 @@
+//! Crash-resilient sweep harness integration tests: quarantine of wedged
+//! trials, journal/resume, cross-thread-count determinism of injected
+//! faults, and retry classification for budget exhaustion.
+
+use microsampler_bench::sweep::{self, SweepOptions, TrialEventKind};
+use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_par::FailureClass;
+use microsampler_sim::{CoreConfig, FaultConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// The thread override and the trial event registry are process-global;
+/// serialize every test that touches them.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("microsampler-ft-{name}-{}.jsonl", std::process::id()))
+}
+
+fn sweep_with(opts: &SweepOptions, n_keys: usize, seed: u64) -> sweep::SweepOutcome {
+    sweep::run_modexp_sweep(ModexpVariant::V2Safe, &CoreConfig::mega_boom(), n_keys, 1, seed, opts)
+}
+
+#[test]
+fn wedged_trial_is_quarantined_and_the_sweep_completes() {
+    let _l = LOCK.lock().unwrap();
+    sweep::reset_events();
+    let opts = SweepOptions { wedge_trial: Some(1), isolate: true, ..SweepOptions::default() };
+    let out = sweep_with(&opts, 3, 42);
+    assert_eq!(out.completed, 2, "the two healthy trials must finish");
+    assert_eq!(out.restored, 0);
+    assert_eq!(out.quarantined.len(), 1);
+    let q = &out.quarantined[0];
+    assert!(q.id.ends_with("key0001"), "trial 1 was the wedged one: {}", q.id);
+    assert_eq!(q.class, FailureClass::SimError);
+    assert_eq!(q.attempts, 2, "the default policy retries a sim error once");
+    assert!(q.message.contains("deadlock"), "{}", q.message);
+    assert!(!out.iterations.is_empty(), "partial results survive the quarantine");
+    // The registry feeds the --json run report.
+    let v = sweep::events_to_json();
+    assert_eq!(v.get("completed").unwrap().as_u64(), Some(2));
+    let listed = v.get("quarantined").unwrap().as_array().unwrap();
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].get("class").unwrap().as_str(), Some("sim-error"));
+    sweep::reset_events();
+}
+
+#[test]
+fn journal_resume_reruns_only_the_missing_trials() {
+    let _l = LOCK.lock().unwrap();
+    let path = tmp("resume");
+    std::fs::write(&path, "").unwrap();
+
+    // Pass 1: trial 1 wedges; three of four trials land in the journal.
+    sweep::reset_events();
+    let opts = SweepOptions {
+        wedge_trial: Some(1),
+        journal: Some(path.clone()),
+        isolate: true,
+        ..SweepOptions::default()
+    };
+    let first = sweep_with(&opts, 4, 7);
+    assert_eq!(first.completed, 3);
+    assert_eq!(first.quarantined.len(), 1);
+
+    // Pass 2: resume without the wedge; only trial 1 re-runs.
+    sweep::reset_events();
+    let opts = SweepOptions {
+        journal: Some(path.clone()),
+        resume: true,
+        isolate: true,
+        ..SweepOptions::default()
+    };
+    let second = sweep_with(&opts, 4, 7);
+    assert_eq!(second.restored, 3, "journaled trials are not re-run");
+    assert_eq!(second.completed, 1, "only the previously-wedged trial runs");
+    assert!(second.quarantined.is_empty());
+    let v = sweep::events_to_json();
+    assert_eq!(v.get("restored").unwrap().as_u64(), Some(3));
+    sweep::reset_events();
+
+    // The journal now covers all four trials; a third resume runs nothing.
+    sweep::reset_events();
+    let third = sweep_with(&opts, 4, 7);
+    assert_eq!((third.restored, third.completed), (4, 0));
+    sweep::reset_events();
+    std::fs::remove_file(&path).ok();
+
+    // A restored-and-patched sweep is bit-identical to an uninterrupted
+    // clean one: same pooled iterations, same hashes, same order.
+    let clean = sweep_with(&SweepOptions { isolate: true, ..SweepOptions::default() }, 4, 7);
+    assert_eq!(second.iterations, clean.iterations);
+    assert_eq!(third.iterations, clean.iterations);
+}
+
+#[test]
+fn injected_fault_schedules_are_thread_count_invariant() {
+    let _l = LOCK.lock().unwrap();
+    let faults = FaultConfig {
+        seed: 0x0051_ee93,
+        squash_per_64k: 500,
+        evict_per_64k: 500,
+        mshr_stall_per_64k: 400,
+        drop_row_per_64k: 250,
+        bitflip_per_64k: 250,
+        wedge: false,
+    };
+    let run = |threads: usize, faults: Option<FaultConfig>| {
+        microsampler_par::set_threads(Some(threads));
+        sweep::reset_events();
+        let opts = SweepOptions { faults, isolate: true, ..SweepOptions::default() };
+        let out = sweep::run_modexp_sweep(
+            ModexpVariant::V1MicroarchVuln,
+            &CoreConfig::mega_boom(),
+            4,
+            1,
+            99,
+            &opts,
+        );
+        microsampler_par::set_threads(None);
+        sweep::reset_events();
+        out
+    };
+    let serial = run(1, Some(faults));
+    assert!(serial.quarantined.is_empty(), "noise rates must not kill trials");
+    for threads in [2, 4] {
+        let parallel = run(threads, Some(faults));
+        assert_eq!(
+            serial.iterations, parallel.iterations,
+            "faulted sweep must be bit-identical at {threads} threads"
+        );
+    }
+    let clean = run(1, None);
+    assert_ne!(serial.iterations, clean.iterations, "the faults must actually perturb traces");
+}
+
+#[test]
+fn exhausted_cycle_budget_is_quarantined_after_retry() {
+    let _l = LOCK.lock().unwrap();
+    sweep::reset_events();
+    let opts = SweepOptions { isolate: true, max_cycles: Some(500), ..SweepOptions::default() };
+    let out = sweep_with(&opts, 2, 5);
+    assert_eq!(out.completed, 0);
+    assert_eq!(out.quarantined.len(), 2, "no trial can finish in 500 cycles");
+    for q in &out.quarantined {
+        assert_eq!(q.class, FailureClass::SimError);
+        assert_eq!(q.attempts, 2, "OutOfCycles is retried once, then quarantined");
+        assert!(q.message.contains("cycle budget"), "{}", q.message);
+    }
+    let events = sweep::events();
+    assert!(events.iter().all(|e| e.kind == TrialEventKind::Quarantined));
+    sweep::reset_events();
+}

@@ -53,7 +53,15 @@ impl Analyzer {
             assoc: self.contingency(iterations, unit, false).association(),
             assoc_timeless: self.contingency(iterations, unit, true).association(),
         });
-        AnalysisReport { units, iterations: iterations.len(), classes: classes.len() }
+        let dropped_cycles = iterations.iter().map(|i| i.dropped_cycles).sum();
+        let sampled_cycles = iterations.iter().map(|i| i.sampled_cycles()).sum();
+        AnalysisReport {
+            units,
+            iterations: iterations.len(),
+            classes: classes.len(),
+            dropped_cycles,
+            sampled_cycles,
+        }
     }
 
     /// Analyzes with input escalation (paper §VII-D): while some unit
@@ -225,6 +233,33 @@ mod tests {
             );
         }
         microsampler_par::set_threads(None);
+    }
+
+    #[test]
+    fn faulted_traces_propagate_into_degraded_flag() {
+        let faults = microsampler_sim::FaultConfig {
+            seed: 11,
+            drop_row_per_64k: 30_000,
+            ..Default::default()
+        };
+        let cfg = TraceConfig { faults: Some(faults), ..TraceConfig::default() };
+        let mut tracer = Tracer::new(cfg);
+        tracer.scr_start(0);
+        for i in 0..40u64 {
+            tracer.iter_start(i * 100, i % 2);
+            for c in 0..8u64 {
+                tracer.begin_cycle(i * 100 + c);
+                for unit in UnitId::ALL {
+                    tracer.record_row(unit, &[0x1000, c]);
+                }
+            }
+            tracer.iter_end(i * 100 + 9);
+        }
+        tracer.scr_end(u64::MAX);
+        let report = analyze(&tracer.iterations);
+        assert!(report.dropped_cycles > 0, "the drop rate should have fired");
+        assert_eq!(report.dropped_cycles + report.sampled_cycles, 40 * 8);
+        assert!(report.is_degraded(), "~46% drop rate must flag degradation");
     }
 
     #[test]

@@ -197,6 +197,8 @@ mod tests {
                 .collect(),
             iterations: 64,
             classes: 4,
+            dropped_cycles: 0,
+            sampled_cycles: 256,
         }
     }
 

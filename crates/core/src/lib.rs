@@ -50,7 +50,7 @@ pub use features::{
     feature_ordering, feature_uniqueness, map_features, OrderMismatch, OrderingReport,
     UniquenessReport,
 };
-pub use report::{association_to_json, AnalysisReport, UnitReport};
+pub use report::{association_to_json, AnalysisReport, UnitReport, DEGRADED_DROP_FRACTION};
 
 // Re-exported so downstream users need only this crate for the common path.
 pub use microsampler_sim::{parse_text_log, IterationTrace, TraceConfig, UnitId};

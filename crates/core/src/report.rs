@@ -58,6 +58,11 @@ impl UnitReport {
     }
 }
 
+/// Fraction of snapshot cycles lost above which a report is flagged
+/// [`AnalysisReport::is_degraded`]: the verdicts are still computed, but
+/// the analyzer refuses to present them as a clean classification.
+pub const DEGRADED_DROP_FRACTION: f64 = 0.05;
+
 /// The full analysis report: one entry per tracked unit, in canonical
 /// order.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,6 +73,11 @@ pub struct AnalysisReport {
     pub iterations: usize,
     /// Number of distinct secret classes observed.
     pub classes: usize,
+    /// Snapshot cycles lost to injected sampling faults across all
+    /// iterations.
+    pub dropped_cycles: u64,
+    /// Snapshot cycles actually captured across all iterations.
+    pub sampled_cycles: u64,
 }
 
 impl AnalysisReport {
@@ -86,6 +96,17 @@ impl AnalysisReport {
     /// True when any unit is flagged.
     pub fn is_leaky(&self) -> bool {
         self.units.iter().any(|u| u.is_leaky())
+    }
+
+    /// True when enough snapshot cycles were lost (more than
+    /// [`DEGRADED_DROP_FRACTION`] of the total) that the verdicts rest on
+    /// an incomplete trace. A degraded report must not be read as a clean
+    /// constant-time classification — the missing cycles could hide
+    /// exactly the rows that differ between classes.
+    pub fn is_degraded(&self) -> bool {
+        let total = self.dropped_cycles + self.sampled_cycles;
+        self.dropped_cycles > 0
+            && self.dropped_cycles as f64 > DEGRADED_DROP_FRACTION * total as f64
     }
 
     /// True when some unit shows strong association whose significance is
@@ -110,14 +131,17 @@ impl AnalysisReport {
     }
 
     /// Renders the report as a JSON value (stable schema: `iterations`,
-    /// `classes`, `leaky`, `needs_more_samples`, `units` in canonical
-    /// order).
+    /// `classes`, `leaky`, `needs_more_samples`, `degraded`,
+    /// `dropped_cycles`, `sampled_cycles`, `units` in canonical order).
     pub fn to_json(&self) -> Value {
         Value::object()
             .field("iterations", self.iterations)
             .field("classes", self.classes)
             .field("leaky", self.is_leaky())
             .field("needs_more_samples", self.needs_more_samples())
+            .field("degraded", self.is_degraded())
+            .field("dropped_cycles", self.dropped_cycles)
+            .field("sampled_cycles", self.sampled_cycles)
             .field("units", Value::Array(self.units.iter().map(UnitReport::to_json).collect()))
             .build()
     }
@@ -130,6 +154,14 @@ impl fmt::Display for AnalysisReport {
             "MicroSampler analysis: {} iterations, {} classes",
             self.iterations, self.classes
         )?;
+        if self.is_degraded() {
+            writeln!(
+                f,
+                "DEGRADED: {} of {} snapshot cycles dropped; verdicts below are unreliable",
+                self.dropped_cycles,
+                self.dropped_cycles + self.sampled_cycles
+            )?;
+        }
         writeln!(
             f,
             "{:<12} {:>8} {:>10} {:>10} {:>8}  verdict",
@@ -167,7 +199,7 @@ mod tests {
             .collect();
         units[0].assoc.cramers_v = v;
         units[0].assoc.p_value = p;
-        AnalysisReport { units, iterations: 10, classes: 2 }
+        AnalysisReport { units, iterations: 10, classes: 2, dropped_cycles: 0, sampled_cycles: 30 }
     }
 
     #[test]
@@ -195,6 +227,22 @@ mod tests {
     }
 
     #[test]
+    fn degraded_flag_tracks_drop_fraction() {
+        let mut r = report_with(0.9, 0.001);
+        assert!(!r.is_degraded(), "no drops, no degradation");
+        // 1 dropped of 31 total (~3.2%) is under the 5% threshold.
+        r.dropped_cycles = 1;
+        assert!(!r.is_degraded());
+        // 3 dropped of 33 total (~9.1%) crosses it.
+        r.dropped_cycles = 3;
+        assert!(r.is_degraded());
+        assert!(r.to_string().contains("DEGRADED"));
+        assert_eq!(r.to_json().get("degraded").unwrap(), &microsampler_obs::Value::Bool(true));
+        // Degradation never suppresses the verdicts themselves.
+        assert!(r.is_leaky());
+    }
+
+    #[test]
     fn display_lists_all_units() {
         let s = report_with(0.9, 0.001).to_string();
         for u in UnitId::ALL {
@@ -214,6 +262,9 @@ mod tests {
         assert_eq!(v.get("classes").unwrap().as_u64(), Some(2));
         assert_eq!(v.get("leaky").unwrap(), &microsampler_obs::Value::Bool(true));
         assert_eq!(v.get("needs_more_samples").unwrap(), &microsampler_obs::Value::Bool(false));
+        assert_eq!(v.get("degraded").unwrap(), &microsampler_obs::Value::Bool(false));
+        assert_eq!(v.get("dropped_cycles").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("sampled_cycles").unwrap().as_u64(), Some(30));
         let units = v.get("units").unwrap().as_array().unwrap();
         assert_eq!(units.len(), 16);
         let first = &units[0];

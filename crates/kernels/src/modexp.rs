@@ -241,7 +241,10 @@ impl From<SimError> for ModexpError {
     }
 }
 
-fn cycle_budget(key_bytes: usize) -> u64 {
+/// Default cycle budget for a modexp run of `key_bytes`: a generous
+/// per-bit allowance on top of a fixed floor. Public so sweep harnesses
+/// driving [`ModexpKernel::machine`] directly use the same budget.
+pub fn cycle_budget(key_bytes: usize) -> u64 {
     2_000_000 + key_bytes as u64 * 8 * 30_000
 }
 

@@ -18,7 +18,11 @@
 //! * telemetry integration — `par.tasks` / `par.workers` / `par.steal`
 //!   metrics per pool run, and spans recorded on worker threads re-attached
 //!   under the caller's open span (each worker's busy time shows up as a
-//!   `par.worker` node).
+//!   `par.worker` node),
+//! * fault tolerance — [`map_isolated`] wraps each task in a panic
+//!   boundary with a bounded retry policy ([`IsolationPolicy`]), so one
+//!   wedged or panicking trial is quarantined as a [`TrialOutcome`]
+//!   instead of sinking the whole sweep.
 //!
 //! # Thread-count resolution
 //!
@@ -44,8 +48,10 @@
 
 use microsampler_obs::{diag_warn, metrics, span};
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Upper bound on accepted thread counts; anything above this is treated
 /// as a configuration mistake and clamped to [`available`].
@@ -230,6 +236,184 @@ where
         let item = unsafe { &mut *base.0.add(i) };
         f(i, item)
     })
+}
+
+/// How an isolated trial ultimately failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureClass {
+    /// The task returned `Err` — a simulator-level error such as a
+    /// deadlock watchdog trip or an exhausted cycle budget.
+    SimError,
+    /// The task panicked; the panic was caught at the isolation boundary.
+    Panicked,
+    /// The task completed but exceeded the policy's wall-clock budget.
+    TimedOut,
+}
+
+impl FailureClass {
+    /// Stable lowercase identifier used in journals and JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureClass::SimError => "sim-error",
+            FailureClass::Panicked => "panicked",
+            FailureClass::TimedOut => "timed-out",
+        }
+    }
+}
+
+impl std::fmt::Display for FailureClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Terminal failure record for a quarantined trial.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// How the final attempt failed.
+    pub class: FailureClass,
+    /// Human-readable error or panic message from the final attempt.
+    pub message: String,
+    /// Total attempts made (1 = failed with no retry).
+    pub attempts: u32,
+}
+
+/// Result of one isolated trial: the task's value, or a quarantine record
+/// after the retry budget is exhausted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrialOutcome<R> {
+    /// The task produced a value within the attempt and time budget.
+    Completed(R),
+    /// Every permitted attempt failed; the trial is quarantined.
+    Failed(TrialFailure),
+}
+
+impl<R> TrialOutcome<R> {
+    /// Whether the trial produced a value.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, TrialOutcome::Completed(_))
+    }
+
+    /// The completed value, if any.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            TrialOutcome::Completed(r) => Some(r),
+            TrialOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if the trial was quarantined.
+    pub fn failure(&self) -> Option<&TrialFailure> {
+        match self {
+            TrialOutcome::Completed(_) => None,
+            TrialOutcome::Failed(f) => Some(f),
+        }
+    }
+}
+
+/// Retry and timeout policy for [`map_isolated`].
+///
+/// The timeout is a *post-hoc classifier*, not a preemption mechanism: a
+/// running task cannot be killed from outside, so the simulator's own
+/// cycle budget (and deadlock watchdog) bounds how long a trial can run.
+/// A task whose wall-clock time reaches `timeout` is classified
+/// [`FailureClass::TimedOut`] even if it returned `Ok`, because its
+/// result is considered untrustworthy for timing-sensitive sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IsolationPolicy {
+    /// Maximum attempts per trial (minimum 1; the default 2 allows one
+    /// retry).
+    pub max_attempts: u32,
+    /// Retry attempts that returned `Err` (transient simulator errors).
+    pub retry_sim_errors: bool,
+    /// Retry attempts that exceeded the wall-clock budget.
+    pub retry_timeouts: bool,
+    /// Retry attempts that panicked. Off by default: a panic is a bug,
+    /// and deterministic trials will just panic again.
+    pub retry_panics: bool,
+    /// Wall-clock budget per attempt (`None` = unlimited).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for IsolationPolicy {
+    fn default() -> Self {
+        IsolationPolicy {
+            max_attempts: 2,
+            retry_sim_errors: true,
+            retry_timeouts: true,
+            retry_panics: false,
+            timeout: None,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs one trial under the policy's attempt budget and classifies the
+/// outcome. Records `trial.retried` per retry and `trial.quarantined` on
+/// terminal failure.
+fn run_isolated<T, R, F>(policy: &IsolationPolicy, index: usize, item: &T, f: &F) -> TrialOutcome<R>
+where
+    F: Fn(usize, &T, u32) -> Result<R, String>,
+{
+    let max_attempts = policy.max_attempts.max(1);
+    let mut attempt = 0u32;
+    loop {
+        let start = Instant::now();
+        let caught = catch_unwind(AssertUnwindSafe(|| f(index, item, attempt)));
+        let overtime = policy.timeout.is_some_and(|budget| start.elapsed() >= budget);
+        let (class, message) = match caught {
+            Ok(Ok(result)) if !overtime => return TrialOutcome::Completed(result),
+            Ok(Ok(_)) => {
+                let budget = policy.timeout.expect("overtime implies a timeout is set");
+                (
+                    FailureClass::TimedOut,
+                    format!("exceeded {budget:?} wall-clock budget (took {:?})", start.elapsed()),
+                )
+            }
+            // An explicit error message wins over the overtime flag.
+            Ok(Err(message)) => (FailureClass::SimError, message),
+            Err(payload) => (FailureClass::Panicked, panic_message(payload)),
+        };
+        attempt += 1;
+        let retryable = match class {
+            FailureClass::SimError => policy.retry_sim_errors,
+            FailureClass::TimedOut => policy.retry_timeouts,
+            FailureClass::Panicked => policy.retry_panics,
+        };
+        if attempt < max_attempts && retryable {
+            metrics::record("trial.retried", 1.0);
+            diag_warn!("trial {index} attempt {attempt} failed ({class}): {message}; retrying");
+            continue;
+        }
+        metrics::record("trial.quarantined", 1.0);
+        return TrialOutcome::Failed(TrialFailure { class, message, attempts: attempt });
+    }
+}
+
+/// [`map`] with per-task fault isolation: each task runs behind a panic
+/// boundary and a bounded retry loop, and failures become
+/// [`TrialOutcome::Failed`] values instead of unwinding the caller.
+///
+/// The task receives `(index, item, attempt)` with `attempt` counting
+/// from 0, so callers can salt retries (e.g. re-seed a fault plan per
+/// attempt). Ordering, stealing, and nesting semantics match [`map`].
+pub fn map_isolated<T, R, F>(policy: &IsolationPolicy, items: &[T], f: F) -> Vec<TrialOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, u32) -> Result<R, String> + Sync,
+{
+    let policy = *policy;
+    map(items, move |i, item| run_isolated(&policy, i, item, &f))
 }
 
 /// The scoped pool core: `workers` threads steal chunked index ranges
@@ -417,6 +601,89 @@ mod tests {
         assert_eq!(get("par.tasks"), Some(64.0));
         assert_eq!(get("par.workers"), Some(4.0));
         assert!(get("par.steal").is_some());
+    }
+
+    #[test]
+    fn map_isolated_completes_ordinary_tasks() {
+        let _l = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..23).collect();
+        let outcomes = with_threads(4, || {
+            map_isolated(&IsolationPolicy::default(), &items, |_, &x, _| Ok(x * 2))
+        });
+        let values: Vec<u64> = outcomes.into_iter().map(|o| o.completed().unwrap()).collect();
+        let want: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(values, want);
+    }
+
+    #[test]
+    fn map_isolated_quarantines_panics_without_unwinding() {
+        let _l = LOCK.lock().unwrap();
+        let items: Vec<u64> = (0..8).collect();
+        let outcomes = with_threads(4, || {
+            map_isolated(&IsolationPolicy::default(), &items, |_, &x, _| {
+                assert!(x != 5, "trial 5 exploded");
+                Ok::<u64, String>(x)
+            })
+        });
+        assert_eq!(outcomes.iter().filter(|o| o.is_completed()).count(), 7);
+        let failure = outcomes[5].failure().expect("trial 5 quarantined");
+        assert_eq!(failure.class, FailureClass::Panicked);
+        assert_eq!(failure.attempts, 1, "panics are not retried by default");
+        assert!(failure.message.contains("trial 5 exploded"), "{}", failure.message);
+    }
+
+    #[test]
+    fn map_isolated_retries_sim_errors_with_attempt_salt() {
+        let _l = LOCK.lock().unwrap();
+        let items = [1u64, 2, 3];
+        let outcomes = with_threads(2, || {
+            map_isolated(&IsolationPolicy::default(), &items, |_, &x, attempt| {
+                if x == 2 && attempt == 0 {
+                    Err("transient wobble".to_string())
+                } else {
+                    Ok(x * 10 + attempt as u64)
+                }
+            })
+        });
+        assert_eq!(outcomes[0], TrialOutcome::Completed(10));
+        assert_eq!(outcomes[1], TrialOutcome::Completed(21), "succeeded on the retry attempt");
+        assert_eq!(outcomes[2], TrialOutcome::Completed(30));
+    }
+
+    #[test]
+    fn map_isolated_exhausts_retries_and_records_metrics() {
+        let _l = LOCK.lock().unwrap();
+        metrics::set_enabled(true);
+        metrics::reset();
+        let items = [0u64];
+        let outcomes = with_threads(1, || {
+            map_isolated(&IsolationPolicy::default(), &items, |_, _, _| {
+                Err::<u64, String>("deadlock: no commit for 20000 cycles".to_string())
+            })
+        });
+        let snap = metrics::snapshot();
+        metrics::set_enabled(false);
+        metrics::reset();
+        let failure = outcomes[0].failure().expect("quarantined");
+        assert_eq!(failure.class, FailureClass::SimError);
+        assert_eq!(failure.attempts, 2);
+        let sum = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, a)| a.sum);
+        assert_eq!(sum("trial.retried"), Some(1.0));
+        assert_eq!(sum("trial.quarantined"), Some(1.0));
+    }
+
+    #[test]
+    fn map_isolated_classifies_overtime_results() {
+        let _l = LOCK.lock().unwrap();
+        let policy = IsolationPolicy {
+            timeout: Some(Duration::ZERO),
+            retry_timeouts: false,
+            ..IsolationPolicy::default()
+        };
+        let outcomes = with_threads(1, || map_isolated(&policy, &[7u64], |_, &x, _| Ok(x)));
+        let failure = outcomes[0].failure().expect("zero budget times out");
+        assert_eq!(failure.class, FailureClass::TimedOut);
+        assert_eq!(failure.attempts, 1);
     }
 
     #[test]

@@ -218,6 +218,28 @@ impl Cache {
         }
     }
 
+    /// Evicts one valid line chosen deterministically by `salt` (fault
+    /// injection's forced-eviction perturbation). Returns the evicted
+    /// line address, or `None` when the cache holds no valid line.
+    pub fn evict_any(&mut self, salt: u64) -> Option<u64> {
+        let valid = self.tags.iter().flatten().filter(|t| t.is_some()).count() as u64;
+        if valid == 0 {
+            return None;
+        }
+        let mut target = salt % valid;
+        for set in &mut self.tags {
+            for t in set {
+                if t.is_some() {
+                    if target == 0 {
+                        return t.take();
+                    }
+                    target -= 1;
+                }
+            }
+        }
+        unreachable!("target < valid line count")
+    }
+
     /// Invalidates every line (MSHRs/LFBs in flight are unaffected).
     pub fn flush_all(&mut self) {
         for set in &mut self.tags {
@@ -341,6 +363,24 @@ mod tests {
         let mut c = Cache::new(cfg(), 1);
         assert!(c.prefetch(0x1000, 0, &mem));
         assert!(!c.prefetch(0x2000, 0, &mem));
+    }
+
+    #[test]
+    fn evict_any_is_deterministic_and_bounded() {
+        let mut c = Cache::new(cfg(), 4);
+        assert_eq!(c.evict_any(7), None, "empty cache has nothing to evict");
+        c.install(0x0000);
+        c.install(0x1000);
+        c.install(0x2000);
+        let mut d = c.clone();
+        assert_eq!(c.evict_any(5), d.evict_any(5), "same salt, same victim");
+        // Evicting drains the cache one line at a time.
+        let mut e = Cache::new(cfg(), 4);
+        e.install(0x0000);
+        e.install(0x1000);
+        assert!(e.evict_any(0).is_some());
+        assert!(e.evict_any(1).is_some());
+        assert_eq!(e.evict_any(2), None);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use crate::cache::CacheConfig;
+use crate::fault::FaultConfig;
 
 /// Data prefetcher selection.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -84,6 +85,11 @@ pub struct CoreConfig {
     /// pseudo-random weak state instead of uniformly weakly-not-taken —
     /// models undefined power-on / residual predictor state.
     pub bpred_random_init: Option<u64>,
+    /// When set, a seed-deterministic [`FaultPlan`](crate::FaultPlan)
+    /// perturbs the core: spurious branch squashes, forced cache
+    /// evictions, MSHR-stall windows, or a permanent LSU wedge. Off in
+    /// both paper presets.
+    pub faults: Option<FaultConfig>,
 }
 
 impl CoreConfig {
@@ -134,6 +140,7 @@ impl CoreConfig {
             prefetcher: PrefetcherKind::NextLine,
             fast_bypass: false,
             bpred_random_init: None,
+            faults: None,
         }
     }
 
@@ -184,6 +191,7 @@ impl CoreConfig {
             prefetcher: PrefetcherKind::NextLine,
             fast_bypass: false,
             bpred_random_init: None,
+            faults: None,
         }
     }
 
@@ -203,6 +211,12 @@ impl CoreConfig {
     /// enabled (makes `mul` variable-latency).
     pub fn with_early_out_mul(mut self) -> CoreConfig {
         self.mul_early_out = true;
+        self
+    }
+
+    /// Same configuration with fault injection enabled.
+    pub fn with_faults(mut self, faults: FaultConfig) -> CoreConfig {
+        self.faults = Some(faults);
         self
     }
 
@@ -269,6 +283,13 @@ mod tests {
         assert!(!CoreConfig::mega_boom().mul_early_out);
         assert!(!CoreConfig::small_boom().mul_early_out);
         assert!(CoreConfig::small_boom().with_early_out_mul().mul_early_out);
+    }
+
+    #[test]
+    fn faults_toggle() {
+        assert!(CoreConfig::mega_boom().faults.is_none());
+        let fc = FaultConfig { seed: 7, wedge: true, ..FaultConfig::default() };
+        assert_eq!(CoreConfig::small_boom().with_faults(fc).faults, Some(fc));
     }
 
     #[test]

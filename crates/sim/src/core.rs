@@ -7,6 +7,7 @@
 
 use crate::cache::{Access, Cache};
 use crate::config::{CoreConfig, PrefetcherKind};
+use crate::fault::{FaultCounts, FaultPlan};
 use crate::interp;
 use crate::memory::Memory;
 use crate::predictor::{Btb, Gshare, ReturnAddressStack};
@@ -177,6 +178,14 @@ pub(crate) struct Core {
     // Per-cycle trace scratch.
     nlp_issued: Vec<u64>,
     dcache_reqs: Vec<u64>,
+    // Fault injection (None unless `cfg.faults` is set).
+    fault_plan: Option<FaultPlan>,
+    /// The LSU neither drains stores nor starts new loads while
+    /// `cycle < lsu_stall_until` (injected MSHR-stall windows; `u64::MAX`
+    /// is the permanent wedge).
+    lsu_stall_until: u64,
+    /// Faults actually injected so far.
+    pub fault_counts: FaultCounts,
     // Progress watchdog.
     last_commit_cycle: u64,
     text_base: u64,
@@ -241,6 +250,9 @@ impl Core {
             div_busy: None,
             nlp_issued: Vec::new(),
             dcache_reqs: Vec::new(),
+            fault_plan: cfg.faults.map(FaultPlan::new),
+            lsu_stall_until: 0,
+            fault_counts: FaultCounts::default(),
             last_commit_cycle: 0,
             text_base: program.text_base,
             text_len: program.text.len() as u64,
@@ -343,6 +355,7 @@ impl Core {
 
         self.l1d.tick(self.cycle);
         self.l1i.tick(self.cycle);
+        self.inject_faults();
         self.apply_squash();
         self.commit();
         if self.exit.is_some() {
@@ -356,6 +369,56 @@ impl Core {
         self.sample_trace();
         if self.debug {
             self.debug_dump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// Applies this cycle's scheduled fault perturbations (no-op without
+    /// `cfg.faults`). Runs before squash/commit so injected squashes obey
+    /// the normal `branch_kill_delay` pipeline timing.
+    fn inject_faults(&mut self) {
+        let Some(plan) = self.fault_plan else { return };
+        let cycle = self.cycle;
+        if plan.wedge_at(cycle) {
+            self.lsu_stall_until = u64::MAX;
+        }
+        if let Some(len) = plan.mshr_stall_at(cycle) {
+            self.lsu_stall_until = self.lsu_stall_until.max(cycle + len);
+            self.fault_counts.mshr_stalls += 1;
+        }
+        if let Some(salt) = plan.evict_salt_at(cycle) {
+            if self.l1d.evict_any(salt).is_some() {
+                self.fault_counts.cache_evictions += 1;
+            }
+        }
+        if plan.squash_at(cycle) {
+            self.inject_spurious_squash();
+        }
+    }
+
+    /// Re-squashes the oldest resolved in-flight conditional branch to
+    /// its *correct* target: younger work is killed and replayed down the
+    /// path it was already on, so the perturbation is architecturally
+    /// invisible — only the microarchitectural trace changes.
+    fn inject_spurious_squash(&mut self) {
+        let victim = self.rob.iter().find_map(|u| {
+            if !u.completed || u.checkpoint.is_none() {
+                return None;
+            }
+            let Inst::Branch { offset, .. } = u.inst else { return None };
+            if self.pending_squashes.iter().any(|ps| ps.branch_seq == u.seq) {
+                return None;
+            }
+            let taken = u.result & 1 == 1;
+            let target = if taken { u.pc.wrapping_add(offset as u64) } else { u.pc + 4 };
+            Some((u.seq, target, taken))
+        });
+        if let Some((seq, target, taken)) = victim {
+            self.schedule_squash(seq, target, taken);
+            self.fault_counts.spurious_squashes += 1;
         }
     }
 
@@ -600,12 +663,18 @@ impl Core {
         for (seq, addr) in completed_loads {
             self.finish_load(seq, addr);
         }
+        // An injected MSHR-stall window (or the permanent wedge) freezes
+        // new LSU work: no store drains, no new load issues. Completions
+        // already in flight and store-data capture still proceed.
+        let stalled = self.cycle < self.lsu_stall_until;
         // Drain committed stores.
         let mut drain_reqs: Vec<(u64, u64)> = Vec::new();
-        for e in self.stq.iter_mut() {
-            if e.state == StState::Draining {
-                let addr = e.addr.expect("draining store has addr");
-                drain_reqs.push((e.seq, addr));
+        if !stalled {
+            for e in self.stq.iter_mut() {
+                if e.state == StState::Draining {
+                    let addr = e.addr.expect("draining store has addr");
+                    drain_reqs.push((e.seq, addr));
+                }
             }
         }
         for (seq, addr) in drain_reqs {
@@ -667,8 +736,11 @@ impl Core {
         }
         // Start memory accesses for ready loads (up to 2 per cycle).
         let mut started = 0;
-        let ready: Vec<u64> =
-            self.ldq.iter().filter(|e| e.state == LdState::Ready).map(|e| e.seq).collect();
+        let ready: Vec<u64> = if stalled {
+            Vec::new()
+        } else {
+            self.ldq.iter().filter(|e| e.state == LdState::Ready).map(|e| e.seq).collect()
+        };
         for seq in ready {
             if started >= 2 {
                 break;

@@ -1,0 +1,369 @@
+//! Seed-deterministic fault injection (robustness harness).
+//!
+//! A [`FaultPlan`] perturbs a run with controlled noise — spurious branch
+//! squashes, forced cache-line evictions, MSHR-stall windows, dropped
+//! snapshot cycles and snapshot bit-flips — so the analysis layer can be
+//! exercised against degraded measurements instead of assuming perfect
+//! captures (the situation DRsam-style perturbation studies model).
+//!
+//! Every decision is a *pure function* of `(seed, fault kind, cycle)`:
+//! the plan keeps no mutable state, so the schedule is bit-identical no
+//! matter how trials are ordered across worker threads, and the trace
+//! parser can re-ask the same questions when replaying a faulted log.
+
+/// The splitmix64 output mixer — a cheap, well-distributed 64-bit hash
+/// used to derive all per-cycle fault decisions.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Fault-injection configuration: per-kind firing rates out of 65536
+/// cycles, plus a deterministic seed.
+///
+/// A rate of `n` means the fault fires on roughly `n / 65536` of cycles
+/// (each cycle decides independently from the mixed seed). `Default` is
+/// all-zero: no faults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FaultConfig {
+    /// Base seed all fault decisions derive from.
+    pub seed: u64,
+    /// Spurious branch-squash rate per 64Ki cycles: re-squashes an
+    /// already-resolved in-flight branch to its *correct* target,
+    /// replaying younger work (architecturally pure noise).
+    pub squash_per_64k: u32,
+    /// Forced L1D line-eviction rate per 64Ki cycles.
+    pub evict_per_64k: u32,
+    /// MSHR-stall rate per 64Ki cycles: freezes store drains and new
+    /// load issue for [`MSHR_STALL_CYCLES`] cycles, modelling a
+    /// miss-handling backlog.
+    pub mshr_stall_per_64k: u32,
+    /// Dropped-snapshot rate per 64Ki cycles: the tracer skips the whole
+    /// sampled row set for that cycle (a lost capture).
+    pub drop_row_per_64k: u32,
+    /// Snapshot bit-flip rate per 64Ki cycles: one bit of one unit's
+    /// sampled row is inverted before hashing/logging.
+    pub bitflip_per_64k: u32,
+    /// When set, the LSU wedges permanently at [`WEDGE_CYCLE`]: no store
+    /// drains, no new loads, commits stop, and the machine watchdog
+    /// reports [`SimError::Deadlock`](crate::SimError::Deadlock). Used to
+    /// exercise quarantine paths with a trial that *always* fails.
+    pub wedge: bool,
+}
+
+/// Length of one injected MSHR-stall window, in cycles.
+pub const MSHR_STALL_CYCLES: u64 = 8;
+
+/// Cycle at which a wedged ([`FaultConfig::wedge`]) run stalls its LSU.
+pub const WEDGE_CYCLE: u64 = 64;
+
+impl FaultConfig {
+    /// Derives the per-trial plan seed: mixes the trial index and retry
+    /// attempt into the base seed so every trial (and every retry of it)
+    /// sees an independent but reproducible schedule. The derivation
+    /// depends only on `(seed, trial, attempt)` — never on thread count
+    /// or scheduling order. `wedge` is preserved as-is, so a wedged
+    /// trial keeps failing on retry.
+    pub fn for_trial(mut self, trial: u64, attempt: u32) -> FaultConfig {
+        self.seed = splitmix64(
+            self.seed ^ splitmix64(trial ^ 0x7472_6961_6c5f_6964) ^ (attempt as u64) << 48,
+        );
+        self
+    }
+
+    /// True when any perturbation (including the wedge) is configured.
+    pub fn any(&self) -> bool {
+        self.wedge
+            || self.squash_per_64k != 0
+            || self.evict_per_64k != 0
+            || self.mshr_stall_per_64k != 0
+            || self.drop_row_per_64k != 0
+            || self.bitflip_per_64k != 0
+    }
+}
+
+/// The kinds of injected faults, used for schedule introspection and
+/// event reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Spurious squash of a resolved branch.
+    SpuriousSquash,
+    /// Forced L1D line eviction.
+    CacheEviction,
+    /// MSHR-stall window start.
+    MshrStall,
+    /// Dropped snapshot cycle.
+    DroppedCycle,
+    /// Snapshot bit-flip.
+    BitFlip,
+}
+
+impl FaultKind {
+    /// All kinds, in reporting order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::SpuriousSquash,
+        FaultKind::CacheEviction,
+        FaultKind::MshrStall,
+        FaultKind::DroppedCycle,
+        FaultKind::BitFlip,
+    ];
+
+    /// Stable lowercase name used in metrics and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SpuriousSquash => "spurious_squash",
+            FaultKind::CacheEviction => "cache_eviction",
+            FaultKind::MshrStall => "mshr_stall",
+            FaultKind::DroppedCycle => "dropped_cycle",
+            FaultKind::BitFlip => "bit_flip",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled fault occurrence (see [`FaultPlan::schedule`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle the fault fires on.
+    pub cycle: u64,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+// Per-kind domain-separation constants mixed into the seed so the five
+// fault streams are independent.
+const K_SQUASH: u64 = 0x5351_5541_5348_0001;
+const K_EVICT: u64 = 0x4556_4943_5400_0002;
+const K_MSHR: u64 = 0x4d53_4852_0000_0003;
+const K_DROP: u64 = 0x4452_4f50_0000_0004;
+const K_FLIP: u64 = 0x464c_4950_0000_0005;
+
+/// A deterministic fault schedule derived from a [`FaultConfig`].
+///
+/// All query methods are pure: calling `squash_at(c)` twice, or from two
+/// different threads, or after a million other queries, always returns
+/// the same answer for the same plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Builds the plan for a configuration.
+    pub fn new(cfg: FaultConfig) -> FaultPlan {
+        FaultPlan { cfg }
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    fn mix(&self, kind: u64, cycle: u64) -> u64 {
+        splitmix64(self.cfg.seed ^ kind ^ splitmix64(cycle))
+    }
+
+    fn fires(&self, kind: u64, cycle: u64, rate_per_64k: u32) -> bool {
+        rate_per_64k != 0 && (self.mix(kind, cycle) & 0xFFFF) < rate_per_64k as u64
+    }
+
+    /// Does a spurious branch squash fire this cycle?
+    pub fn squash_at(&self, cycle: u64) -> bool {
+        self.fires(K_SQUASH, cycle, self.cfg.squash_per_64k)
+    }
+
+    /// Forced-eviction salt for this cycle, when an eviction fires. The
+    /// salt selects which valid L1D line is evicted.
+    pub fn evict_salt_at(&self, cycle: u64) -> Option<u64> {
+        if self.fires(K_EVICT, cycle, self.cfg.evict_per_64k) {
+            Some(self.mix(K_EVICT ^ 0xa5a5, cycle))
+        } else {
+            None
+        }
+    }
+
+    /// Length of the MSHR-stall window starting this cycle, if one does.
+    pub fn mshr_stall_at(&self, cycle: u64) -> Option<u64> {
+        if self.fires(K_MSHR, cycle, self.cfg.mshr_stall_per_64k) {
+            Some(MSHR_STALL_CYCLES)
+        } else {
+            None
+        }
+    }
+
+    /// Is this sampled cycle's snapshot dropped entirely?
+    pub fn drop_cycle_at(&self, cycle: u64) -> bool {
+        self.fires(K_DROP, cycle, self.cfg.drop_row_per_64k)
+    }
+
+    /// Bit-flip salt for `(cycle, unit)`, when a flip fires. The salt
+    /// selects which bit of the unit's sampled row is inverted.
+    pub fn bitflip_at(&self, cycle: u64, unit_index: usize) -> Option<u64> {
+        let kind = K_FLIP ^ (unit_index as u64) << 32;
+        if self.fires(kind, cycle, self.cfg.bitflip_per_64k) {
+            Some(self.mix(kind ^ 0x5a5a, cycle))
+        } else {
+            None
+        }
+    }
+
+    /// Does the permanent LSU wedge engage this cycle?
+    pub fn wedge_at(&self, cycle: u64) -> bool {
+        self.cfg.wedge && cycle == WEDGE_CYCLE
+    }
+
+    /// Enumerates every fault firing in `cycles`, in (cycle, kind) order.
+    /// Used by determinism tests and for schedule introspection; the live
+    /// injection path queries per cycle instead.
+    pub fn schedule(&self, cycles: std::ops::Range<u64>) -> Vec<FaultEvent> {
+        let mut events = Vec::new();
+        for cycle in cycles {
+            if self.squash_at(cycle) {
+                events.push(FaultEvent { cycle, kind: FaultKind::SpuriousSquash });
+            }
+            if self.evict_salt_at(cycle).is_some() {
+                events.push(FaultEvent { cycle, kind: FaultKind::CacheEviction });
+            }
+            if self.mshr_stall_at(cycle).is_some() {
+                events.push(FaultEvent { cycle, kind: FaultKind::MshrStall });
+            }
+            if self.drop_cycle_at(cycle) {
+                events.push(FaultEvent { cycle, kind: FaultKind::DroppedCycle });
+            }
+            if (0..crate::UnitId::COUNT).any(|u| self.bitflip_at(cycle, u).is_some()) {
+                events.push(FaultEvent { cycle, kind: FaultKind::BitFlip });
+            }
+        }
+        events
+    }
+}
+
+/// Counters for faults actually injected during a run, surfaced through
+/// [`RunResult`](crate::RunResult) and the `fault.*` metrics batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Spurious branch squashes scheduled.
+    pub spurious_squashes: u64,
+    /// L1D lines forcibly evicted.
+    pub cache_evictions: u64,
+    /// MSHR-stall windows injected.
+    pub mshr_stalls: u64,
+    /// Snapshot cycles dropped by the tracer.
+    pub dropped_cycles: u64,
+    /// Snapshot bits flipped by the tracer.
+    pub bit_flips: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    pub fn total(&self) -> u64 {
+        self.spurious_squashes
+            + self.cache_evictions
+            + self.mshr_stalls
+            + self.dropped_cycles
+            + self.bit_flips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy() -> FaultConfig {
+        FaultConfig {
+            seed: 0xfa17,
+            squash_per_64k: 900,
+            evict_per_64k: 900,
+            mshr_stall_per_64k: 900,
+            drop_row_per_64k: 900,
+            bitflip_per_64k: 900,
+            wedge: false,
+        }
+    }
+
+    #[test]
+    fn default_config_is_inert() {
+        let plan = FaultPlan::new(FaultConfig::default());
+        assert!(!FaultConfig::default().any());
+        assert!(plan.schedule(0..4096).is_empty());
+        assert!(!plan.wedge_at(WEDGE_CYCLE));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new(noisy()).schedule(0..8192);
+        let b = FaultPlan::new(noisy()).schedule(0..8192);
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "rates of 900/64k over 8192 cycles should fire");
+        let other = FaultPlan::new(FaultConfig { seed: 0xbeef, ..noisy() }).schedule(0..8192);
+        assert_ne!(a, other, "different seeds must give different schedules");
+    }
+
+    #[test]
+    fn queries_are_stateless() {
+        // Asking the same question repeatedly, or interleaved with other
+        // queries, never changes the answer.
+        let plan = FaultPlan::new(noisy());
+        for cycle in 0..512 {
+            let first = plan.drop_cycle_at(cycle);
+            let _ = plan.squash_at(cycle + 7);
+            let _ = plan.bitflip_at(cycle, 3);
+            assert_eq!(plan.drop_cycle_at(cycle), first);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let cfg = FaultConfig { seed: 1, drop_row_per_64k: 6554, ..FaultConfig::default() };
+        let plan = FaultPlan::new(cfg);
+        let n = (0..65536).filter(|&c| plan.drop_cycle_at(c)).count();
+        // ~10% of cycles; allow wide slack for mixer variance.
+        assert!((4000..9000).contains(&n), "fired {n} times");
+    }
+
+    #[test]
+    fn kinds_are_independent_streams() {
+        let plan = FaultPlan::new(noisy());
+        let squashes: Vec<u64> = (0..4096).filter(|&c| plan.squash_at(c)).collect();
+        let drops: Vec<u64> = (0..4096).filter(|&c| plan.drop_cycle_at(c)).collect();
+        assert_ne!(squashes, drops, "streams must be domain-separated");
+    }
+
+    #[test]
+    fn for_trial_derivation_is_pure() {
+        let base = noisy();
+        assert_eq!(base.for_trial(3, 0), base.for_trial(3, 0));
+        assert_ne!(base.for_trial(3, 0).seed, base.for_trial(4, 0).seed);
+        assert_ne!(base.for_trial(3, 0).seed, base.for_trial(3, 1).seed);
+        let wedged = FaultConfig { wedge: true, ..base };
+        assert!(wedged.for_trial(0, 0).wedge && wedged.for_trial(0, 1).wedge);
+    }
+
+    #[test]
+    fn wedge_engages_at_fixed_cycle() {
+        let plan = FaultPlan::new(FaultConfig { wedge: true, ..FaultConfig::default() });
+        assert!(plan.wedge_at(WEDGE_CYCLE));
+        assert!(!plan.wedge_at(WEDGE_CYCLE + 1));
+        assert!(!plan.wedge_at(0));
+    }
+
+    #[test]
+    fn fault_counts_total() {
+        let c = FaultCounts {
+            spurious_squashes: 1,
+            cache_evictions: 2,
+            mshr_stalls: 3,
+            dropped_cycles: 4,
+            bit_flips: 5,
+        };
+        assert_eq!(c.total(), 15);
+        assert_eq!(FaultCounts::default().total(), 0);
+    }
+}

@@ -47,6 +47,7 @@
 mod cache;
 mod config;
 mod core;
+mod fault;
 pub mod interp;
 mod machine;
 mod memory;
@@ -56,6 +57,9 @@ mod trace;
 
 pub use cache::{Cache, CacheConfig, LineFillBuffer, Mshr};
 pub use config::{CoreConfig, PrefetcherKind};
+pub use fault::{
+    FaultConfig, FaultCounts, FaultEvent, FaultKind, FaultPlan, MSHR_STALL_CYCLES, WEDGE_CYCLE,
+};
 pub use machine::{Machine, RunResult, SimError};
 pub use memory::Memory;
 pub use predictor::{Btb, Gshare, ReturnAddressStack};

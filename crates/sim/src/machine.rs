@@ -2,6 +2,7 @@
 
 use crate::config::CoreConfig;
 use crate::core::{Core, CoreExit};
+use crate::fault::FaultCounts;
 use crate::trace::{IterationTrace, TraceConfig};
 use crate::CoreStats;
 use microsampler_isa::{Program, Reg};
@@ -51,6 +52,8 @@ pub struct RunResult {
     pub iterations: Vec<IterationTrace>,
     /// Microarchitectural statistics.
     pub stats: CoreStats,
+    /// Faults injected during the run (all zero without fault injection).
+    pub fault_counts: FaultCounts,
 }
 
 /// A loaded machine: one core plus memory, ready to run.
@@ -124,14 +127,24 @@ impl Machine {
         // hashing work still deferred before handing the traces out.
         self.core.tracer.finalize();
         let iterations = std::mem::take(&mut self.core.tracer.iterations);
-        self.export_metrics(&stats, iterations.len());
-        Ok(RunResult { cycles: self.core.cycle, exit_code, iterations, stats })
+        let fault_counts = self.fault_counts();
+        self.export_metrics(&stats, iterations.len(), &fault_counts);
+        Ok(RunResult { cycles: self.core.cycle, exit_code, iterations, stats, fault_counts })
+    }
+
+    /// Combined fault counters: the core's pipeline perturbations plus the
+    /// tracer's capture faults.
+    fn fault_counts(&self) -> FaultCounts {
+        let mut counts = self.core.fault_counts;
+        counts.dropped_cycles = self.core.tracer.dropped_cycles;
+        counts.bit_flips = self.core.tracer.bit_flips;
+        counts
     }
 
     /// Records the run's `CoreStats` counters and tracer volumes into the
     /// process metrics registry (`sim.*` / `trace.*`; no-op while the
     /// registry is disabled).
-    fn export_metrics(&self, stats: &CoreStats, iterations: usize) {
+    fn export_metrics(&self, stats: &CoreStats, iterations: usize, faults: &FaultCounts) {
         if !microsampler_obs::metrics::enabled() {
             return;
         }
@@ -166,6 +179,19 @@ impl Machine {
                 ("matrix_cells", tracer.matrix_cells as f64),
             ],
         );
+        if faults.total() > 0 {
+            microsampler_obs::metrics::record("fault.injected", faults.total() as f64);
+            microsampler_obs::metrics::record_batch(
+                "fault",
+                &[
+                    ("spurious_squashes", faults.spurious_squashes as f64),
+                    ("cache_evictions", faults.cache_evictions as f64),
+                    ("mshr_stalls", faults.mshr_stalls as f64),
+                    ("dropped_cycles", faults.dropped_cycles as f64),
+                    ("bit_flips", faults.bit_flips as f64),
+                ],
+            );
+        }
     }
 
     /// Committed (architectural) value of a register.

@@ -15,6 +15,7 @@
 //! paper's simulator-log-then-parse pipeline and is checked in tests to
 //! produce byte-identical summaries.
 
+use crate::fault::{FaultConfig, FaultPlan};
 use microsampler_stats::SipHasher;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -136,6 +137,13 @@ pub struct TraceConfig {
     /// [`Tracer::finalize`]), so every hash, feature set and matrix is
     /// **bit-identical** to the serial fold — only the wall-clock changes.
     pub threads: usize,
+    /// Measurement-fault injection: when set, the tracer drops whole
+    /// snapshot cycles ([`FaultConfig::drop_row_per_64k`]) and flips
+    /// snapshot bits ([`FaultConfig::bitflip_per_64k`]) on a
+    /// seed-deterministic schedule. Parse a faulted log back with
+    /// `faults: None` — drops are replayed from `D` records and flips
+    /// are already baked into the logged values.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for TraceConfig {
@@ -145,6 +153,7 @@ impl Default for TraceConfig {
             hash_key: (0x4d53_4d50, 0x4c52_5f31),
             sip13: true,
             threads: 1,
+            faults: None,
         }
     }
 }
@@ -187,6 +196,8 @@ pub struct IterationTrace {
     pub start_cycle: u64,
     /// Last sampled cycle.
     pub end_cycle: u64,
+    /// Snapshot cycles lost to injected capture faults (0 in clean runs).
+    pub dropped_cycles: u64,
     /// Per-unit summaries, indexed by [`UnitId::index`].
     pub units: Vec<UnitTrace>,
 }
@@ -195,6 +206,12 @@ impl IterationTrace {
     /// Iteration length in cycles.
     pub fn cycles(&self) -> u64 {
         self.end_cycle.saturating_sub(self.start_cycle) + 1
+    }
+
+    /// Snapshot cycles actually captured (every unit samples once per
+    /// captured cycle, so the first unit's row count is the figure).
+    pub fn sampled_cycles(&self) -> u64 {
+        self.units.first().map_or(0, |u| u.cycle_rows)
     }
 
     /// The summary for one unit.
@@ -309,6 +326,7 @@ struct InProgress {
     label: u64,
     start_cycle: u64,
     last_cycle: u64,
+    dropped: u64,
     units: Vec<UnitBuilder>,
 }
 
@@ -318,6 +336,7 @@ struct PendingIteration {
     label: u64,
     start_cycle: u64,
     end_cycle: u64,
+    dropped: u64,
     units: Vec<UnitBuilder>,
 }
 
@@ -346,6 +365,18 @@ pub struct Tracer {
     /// Matrix cells retained so far (nonzero only with
     /// [`TraceConfig::keep_matrices`]).
     pub matrix_cells: u64,
+    /// Snapshot cycles dropped by injected capture faults so far.
+    pub dropped_cycles: u64,
+    /// Snapshot bits flipped by injected capture faults so far.
+    pub bit_flips: u64,
+    /// Derived from [`TraceConfig::faults`]; `None` means no injection.
+    fault_plan: Option<FaultPlan>,
+    /// The cycle begun by [`Tracer::begin_cycle`] is a dropped capture:
+    /// its `record_row` calls are suppressed.
+    drop_this_cycle: bool,
+    /// Guards double-counting a drop when the same cycle is begun twice
+    /// (the parser replays one `D` record per lost cycle).
+    counted_drop_for: Option<u64>,
     log: Option<String>,
 }
 
@@ -363,6 +394,11 @@ impl Tracer {
             rows_sampled: 0,
             hash_bytes: 0,
             matrix_cells: 0,
+            dropped_cycles: 0,
+            bit_flips: 0,
+            fault_plan: cfg.faults.map(FaultPlan::new),
+            drop_this_cycle: false,
+            counted_drop_for: None,
             log: None,
         }
     }
@@ -409,6 +445,7 @@ impl Tracer {
             label,
             start_cycle: cycle,
             last_cycle: cycle,
+            dropped: 0,
             units: (0..UnitId::COUNT).map(|_| UnitBuilder::new(&self.cfg, sharded)).collect(),
         });
         if let Some(log) = &mut self.log {
@@ -424,6 +461,7 @@ impl Tracer {
                     label: cur.label,
                     start_cycle: cur.start_cycle,
                     end_cycle: cur.last_cycle,
+                    dropped: cur.dropped,
                     units: cur.units,
                 });
             } else {
@@ -431,6 +469,7 @@ impl Tracer {
                     label: cur.label,
                     start_cycle: cur.start_cycle,
                     end_cycle: cur.last_cycle,
+                    dropped_cycles: cur.dropped,
                     units: cur.units.into_iter().map(UnitBuilder::finish).collect(),
                 });
             }
@@ -465,15 +504,24 @@ impl Tracer {
                 label: p.label,
                 start_cycle: p.start_cycle,
                 end_cycle: p.end_cycle,
+                dropped_cycles: p.dropped,
                 units: p.units.into_iter().map(UnitBuilder::finish).collect(),
             });
         }
     }
 
     /// Records one unit's row for the current cycle. Call exactly once per
-    /// unit per active cycle, after [`Tracer::begin_cycle`].
+    /// unit per active cycle, after [`Tracer::begin_cycle`]. With fault
+    /// injection configured, the row may be bit-flipped before folding
+    /// (post-flip values are also what the text log records), and rows of
+    /// a dropped cycle are discarded wholesale.
     pub fn record_row(&mut self, unit: UnitId, row: &[u64]) {
-        let Some(cur) = &mut self.current else { return };
+        if self.current.is_none() || self.drop_this_cycle {
+            return;
+        }
+        let flipped = self.flip_row(unit, row);
+        let row: &[u64] = flipped.as_deref().unwrap_or(row);
+        let cur = self.current.as_mut().expect("checked above");
         self.rows_sampled += 1;
         self.hash_bytes += cur.units[unit.index()].push_row(row);
         if self.cfg.keep_matrices {
@@ -488,10 +536,60 @@ impl Tracer {
         }
     }
 
+    /// Applies the fault plan's bit-flip for `(current cycle, unit)`, if
+    /// one fires: returns the perturbed copy of `row`.
+    fn flip_row(&mut self, unit: UnitId, row: &[u64]) -> Option<Vec<u64>> {
+        let plan = self.fault_plan.as_ref()?;
+        let cycle = self.current.as_ref()?.last_cycle;
+        let salt = plan.bitflip_at(cycle, unit.index())?;
+        if row.is_empty() {
+            return None;
+        }
+        let mut out = row.to_vec();
+        let bit = salt % (out.len() as u64 * 64);
+        out[(bit / 64) as usize] ^= 1 << (bit % 64);
+        self.bit_flips += 1;
+        Some(out)
+    }
+
     /// Marks the cycle being sampled (call before the `record_row` batch).
+    /// With fault injection configured this is also where the plan decides
+    /// whether the cycle's capture is dropped.
     pub fn begin_cycle(&mut self, cycle: u64) {
+        self.drop_this_cycle = false;
         if let Some(cur) = &mut self.current {
             cur.last_cycle = cycle;
+        }
+        if self.current.is_some()
+            && self.fault_plan.as_ref().is_some_and(|p| p.drop_cycle_at(cycle))
+        {
+            self.drop_cycle(cycle);
+        }
+    }
+
+    /// Records a lost snapshot capture for `cycle`: the cycle cursor still
+    /// advances, but the cycle's `record_row` calls are suppressed and the
+    /// loss is counted (and logged as a `D` record, so faulted text logs
+    /// round-trip). Invoked by the fault plan on the live path and by
+    /// [`parse_text_log`] when replaying `D` records.
+    pub fn drop_cycle(&mut self, cycle: u64) {
+        if self.current.is_none() {
+            return;
+        }
+        self.drop_this_cycle = true;
+        let first = self.counted_drop_for != Some(cycle);
+        if let Some(cur) = &mut self.current {
+            cur.last_cycle = cycle;
+            if first {
+                cur.dropped += 1;
+            }
+        }
+        if first {
+            self.counted_drop_for = Some(cycle);
+            self.dropped_cycles += 1;
+            if let Some(log) = &mut self.log {
+                log.push_str(&format!("D {cycle}\n"));
+            }
         }
     }
 }
@@ -569,6 +667,13 @@ pub fn parse_text_log(text: &str, cfg: TraceConfig) -> Result<Vec<IterationTrace
                 }
                 tracer.begin_cycle(cycle);
                 tracer.record_row(unit, &row);
+            }
+            Some("D") => {
+                let cycle: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("missing dropped cycle".into()))?;
+                tracer.drop_cycle(cycle);
             }
             Some(other) => return Err(err(format!("unknown record `{other}`"))),
             None => {}
@@ -767,6 +872,69 @@ mod tests {
         assert!(t.iterations[0].unit(UnitId::SqAddr).features.contains(&0xabc));
         t.finalize();
         assert_eq!(t.iterations.len(), 1, "second finalize must be a no-op");
+    }
+
+    fn drive_faulted(faults: Option<FaultConfig>) -> Tracer {
+        let mut t = Tracer::new(TraceConfig { faults, ..TraceConfig::default() });
+        t.enable_log();
+        t.scr_start(0);
+        for i in 0..2u64 {
+            t.iter_start(i * 100, i);
+            for c in 0..24u64 {
+                t.begin_cycle(i * 100 + 1 + c);
+                t.record_row(UnitId::SqAddr, &[0x100 + c, 0x200]);
+                t.record_row(UnitId::RobOccupancy, &[c % 4]);
+            }
+            t.iter_end(i * 100 + 30);
+        }
+        t.scr_end(250);
+        t
+    }
+
+    fn heavy_faults() -> FaultConfig {
+        FaultConfig {
+            seed: 9,
+            drop_row_per_64k: 20_000,
+            bitflip_per_64k: 20_000,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn injected_drops_and_flips_fire_and_perturb_hashes() {
+        let clean = drive_faulted(None);
+        let faulted = drive_faulted(Some(heavy_faults()));
+        assert!(faulted.dropped_cycles > 0, "drop rate of ~30% over 48 cycles must fire");
+        assert!(faulted.bit_flips > 0, "flip rate of ~30% over 96 rows must fire");
+        assert_eq!(clean.dropped_cycles, 0);
+        assert_eq!(clean.bit_flips, 0);
+        assert_eq!(clean.iterations[0].dropped_cycles, 0);
+        assert_ne!(
+            clean.iterations[0].unit(UnitId::SqAddr).hash,
+            faulted.iterations[0].unit(UnitId::SqAddr).hash
+        );
+        let it = &faulted.iterations[0];
+        assert_eq!(it.sampled_cycles() + it.dropped_cycles, 24, "every cycle sampled or dropped");
+        // Same plan, same schedule: re-driving reproduces everything.
+        assert_eq!(drive_faulted(Some(heavy_faults())).iterations, faulted.iterations);
+    }
+
+    #[test]
+    fn faulted_log_round_trips_with_plain_parse() {
+        let faulted = drive_faulted(Some(heavy_faults()));
+        let log = faulted.log_text().unwrap();
+        assert!(log.contains("\nD "), "dropped cycles must be logged as D records");
+        // Parse with faults off: flips are baked into logged values and
+        // drops replay from D records.
+        let parsed = parse_text_log(log, TraceConfig::default()).unwrap();
+        assert_eq!(parsed, faulted.iterations);
+        let parsed_dropped: u64 = parsed.iter().map(|i| i.dropped_cycles).sum();
+        assert_eq!(parsed_dropped, faulted.dropped_cycles);
+    }
+
+    #[test]
+    fn parse_rejects_bad_drop_record() {
+        assert!(parse_text_log("D nope\n", TraceConfig::default()).is_err());
     }
 
     #[test]
