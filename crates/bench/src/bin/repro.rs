@@ -8,6 +8,8 @@
 //!                       [--trial-timeout SECS]
 //! repro lint [--all | <kernel>...] [--static] [--sarif FILE]
 //!            [--baseline FILE] [--trials N] [--seed N] [--threads N]
+//! repro profile [--all | <kernel>...] [--keys N] [--key-bytes N]
+//!               [--seed N] [--threads N] [--out FILE] [--trace-out FILE]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
@@ -34,6 +36,14 @@
 //! 3 = violations found, 1 = `--baseline` verdict mismatch,
 //! 2 = usage error.
 //!
+//! `repro profile` sweeps modexp kernels with the simulator's always-on
+//! pipeline counters and prints a riscv-perf-model-style utilization dump
+//! (host throughput, simulated IPC, per-EU utilization, stall-cause
+//! breakdown), writing the stable-schema `BENCH_sim.json` throughput
+//! baseline; `--trace-out FILE` additionally exports the span forest as
+//! Chrome trace-event JSON, openable at <https://ui.perfetto.dev>. Exits
+//! nonzero if any kernel reports zero IPC or throughput.
+//!
 //! With `--json DIR`, each experiment additionally writes
 //! `DIR/<experiment>.json`: a stable-schema run report carrying the
 //! experiment's structured result, the pipeline span tree, and the
@@ -41,10 +51,11 @@
 //! for trial-N-of-M heartbeats during long sweeps.
 
 use microsampler_bench::experiments as exp;
-use microsampler_bench::{lint, print_cycle_histogram, print_v_chart, sweep, Scale};
+use microsampler_bench::{lint, print_cycle_histogram, print_v_chart, profile, sweep, Scale};
 use microsampler_core::association_to_json;
-use microsampler_obs::{diag, diag_error, json, metrics, span, Value};
-use microsampler_sim::FaultConfig;
+use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_obs::{diag, diag_error, json, metrics, span, trace_event, Value};
+use microsampler_sim::{CoreConfig, FaultConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -76,6 +87,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("lint") {
         return lint_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return profile_main(&args[1..]);
     }
     let mut scale = Scale::default();
     let mut wanted: Vec<String> = Vec::new();
@@ -383,6 +397,108 @@ fn lint_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro profile [--all | <kernel>...] [--keys N] [--key-bytes N]
+/// [--seed N] [--threads N] [--out FILE] [--trace-out FILE]`.
+///
+/// Exit codes: 0 = profiled and `BENCH_sim.json` written, 1 = a kernel
+/// failed or reported zero IPC/throughput, 2 = usage error.
+fn profile_main(args: &[String]) -> ExitCode {
+    let mut opts = profile::ProfileOptions::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut out = std::path::PathBuf::from("BENCH_sim.json");
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_path = |i: &mut usize, flag: &str| -> std::path::PathBuf {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a path after {flag}"))).into()
+        };
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--keys" => opts.keys = take_num(&mut i),
+            "--key-bytes" => opts.key_bytes = take_num(&mut i),
+            "--seed" => opts.seed = take_num(&mut i) as u64,
+            "--threads" => match take_num(&mut i) {
+                0 => fail("--threads must be at least 1"),
+                n => microsampler_par::set_threads(Some(n)),
+            },
+            "--out" => out = take_path(&mut i, "--out"),
+            "--trace-out" => trace_out = Some(take_path(&mut i, "--trace-out")),
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => names.push(other.to_owned()),
+            other => fail(&format!("unknown profile flag `{other}`")),
+        }
+        i += 1;
+    }
+    if all != names.is_empty() {
+        fail("profile takes either --all or at least one kernel name, not both");
+    }
+    if opts.keys == 0 || opts.key_bytes == 0 {
+        fail("--keys and --key-bytes must be at least 1");
+    }
+    if !all {
+        opts.kernels = names
+            .iter()
+            .map(|n| {
+                ModexpVariant::ALL.iter().copied().find(|v| v.name() == n).unwrap_or_else(|| {
+                    let known: Vec<&str> = ModexpVariant::ALL.iter().map(|v| v.name()).collect();
+                    fail(&format!("unknown kernel `{n}` (expected one of {})", known.join(", ")))
+                })
+            })
+            .collect();
+    }
+    let config = CoreConfig::mega_boom();
+    if trace_out.is_some() {
+        span::set_enabled(true);
+        span::take();
+    }
+    let profiles = match profile::profile_kernels(&config, &opts) {
+        Ok(profiles) => profiles,
+        Err(e) => {
+            diag_error!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for p in &profiles {
+        profile::print_profile(p, &config);
+    }
+    let report = profile::report_to_json(&profiles, &config, microsampler_par::threads());
+    if let Err(e) = std::fs::write(&out, report.render_pretty()) {
+        diag_error!("cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {}", out.display());
+    if let Some(path) = &trace_out {
+        let spans = span::take();
+        span::set_enabled(false);
+        let doc = trace_event::spans_to_trace_events(&spans);
+        if let Err(e) = std::fs::write(path, doc.render_compact()) {
+            diag_error!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} (open at https://ui.perfetto.dev)", path.display());
+    }
+    // The throughput baseline is useless if the counters read zero; make
+    // that a hard failure so CI catches a broken profiler immediately.
+    for p in &profiles {
+        if p.pipeline.ipc() <= 0.0 || p.sim_cycles_per_host_sec() <= 0.0 {
+            diag_error!("{}: zero IPC or host throughput in the profile", p.name);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// Compares each result's static verdict against the checked-in baseline.
 ///
 /// The baseline records verdicts only — they are deterministic and
@@ -427,6 +543,10 @@ fn usage() {
         "       repro lint [--all | <kernel>...] [--static] [--sarif FILE] [--baseline FILE] \
          [--trials N] [--seed N] [--threads N]"
     );
+    eprintln!(
+        "       repro profile [--all | <kernel>...] [--keys N] [--key-bytes N] [--seed N] \
+         [--threads N] [--out FILE] [--trace-out FILE]"
+    );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
     eprintln!(
@@ -456,6 +576,11 @@ fn usage() {
     eprintln!(
         "lint exit codes: 0 = clean, 3 = violations found, 1 = --baseline verdict \
          mismatch, 2 = usage error"
+    );
+    eprintln!(
+        "profile sweeps modexp kernels with the pipeline profiler and writes the \
+         BENCH_sim.json throughput baseline (--out, default BENCH_sim.json); \
+         --trace-out FILE exports a Chrome trace-event JSON (ui.perfetto.dev)"
     );
 }
 
@@ -562,16 +687,21 @@ fn run(which: &str, scale: &Scale) -> Value {
         }
         "table5" => {
             println!("\n== Table V: OpenSSL constant-time primitives ==");
-            println!("{:<34} {:>5} {:>6} {:>7} {:>6}", "primitive", "func", "leak", "maxV", "esc");
+            println!(
+                "{:<34} {:>5} {:>6} {:>7} {:>6} {:>6}  dominant stall",
+                "primitive", "func", "leak", "maxV", "esc", "ipc"
+            );
             let rows = exp::table5(scale);
             for r in &rows {
                 println!(
-                    "{:<34} {:>5} {:>6} {:>7.3} {:>6}",
+                    "{:<34} {:>5} {:>6} {:>7.3} {:>6} {:>6.3}  {}",
                     r.name,
                     if r.functional_ok { "ok" } else { "FAIL" },
                     if r.leak_identified { "LEAK" } else { "-" },
                     r.max_v,
                     r.escalation_rounds,
+                    r.ipc,
+                    r.dominant_stall.as_deref().unwrap_or("-"),
                 );
                 if let Some(e) = &r.error {
                     println!("{:<34} error: {e}", "");
@@ -588,6 +718,11 @@ fn run(which: &str, scale: &Scale) -> Value {
                             .field("leak_identified", r.leak_identified)
                             .field("max_v", r.max_v)
                             .field("escalation_rounds", r.escalation_rounds)
+                            .field("ipc", r.ipc)
+                            .field(
+                                "dominant_stall",
+                                r.dominant_stall.as_deref().map_or(Value::Null, Value::from),
+                            )
                             .field("error", r.error.as_deref().map_or(Value::Null, Value::from))
                             .build()
                     })

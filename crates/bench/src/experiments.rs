@@ -83,6 +83,11 @@ pub struct Table5Row {
     pub max_v: f64,
     /// Escalation rounds used to confirm/clear significance.
     pub escalation_rounds: usize,
+    /// Committed-instruction IPC over the analyzed iterations.
+    pub ipc: f64,
+    /// Largest stall-cause bucket over the analyzed iterations (`None`
+    /// when no stall cycles were observed or the audit was quarantined).
+    pub dominant_stall: Option<String>,
     /// Simulator error, if the audit could not complete. A first-run
     /// failure quarantines the row (no verdict); a failure during an
     /// escalation round leaves the partial verdict standing with the
@@ -136,6 +141,8 @@ fn table5_row(analyzer: &Analyzer, prim: &Primitive, scale: &Scale) -> Table5Row
                 functional_ok: false,
                 max_v: 0.0,
                 escalation_rounds: 0,
+                ipc: 0.0,
+                dominant_stall: None,
                 error: Some(e),
             };
         }
@@ -163,6 +170,8 @@ fn table5_row(analyzer: &Analyzer, prim: &Primitive, scale: &Scale) -> Table5Row
         functional_ok,
         max_v,
         escalation_rounds: outcome.rounds,
+        ipc: outcome.report.pipeline.ipc(),
+        dominant_stall: outcome.report.pipeline.dominant_stall().map(|(name, _)| name.to_owned()),
         error: escalation_error,
     }
 }

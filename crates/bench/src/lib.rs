@@ -9,6 +9,7 @@
 
 pub mod experiments;
 pub mod lint;
+pub mod profile;
 pub mod sweep;
 
 use microsampler_core::{analyze, AnalysisReport};

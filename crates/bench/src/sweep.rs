@@ -24,16 +24,22 @@ use microsampler_kernels::inputs::random_keys;
 use microsampler_kernels::modexp::{self, ModexpKernel, ModexpVariant};
 use microsampler_obs::{diag, diag_warn, json, Value};
 use microsampler_par::{FailureClass, IsolationPolicy, TrialOutcome};
-use microsampler_sim::{CoreConfig, FaultConfig, IterationTrace, TraceConfig, UnitTrace};
+use microsampler_sim::{
+    CoreConfig, FaultConfig, IterationTrace, PipelineStats, TraceConfig, UnitTrace,
+};
 use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-/// Schema tag on every journal line.
+/// Schema tag on every trial journal line.
 pub const TRIAL_SCHEMA: &str = "microsampler-trial-v1";
+
+/// Schema tag on progress-heartbeat lines interleaved into the journal.
+pub const HEARTBEAT_SCHEMA: &str = "microsampler-heartbeat-v1";
 
 /// Harness-wide sweep configuration, installed by the `repro` CLI via
 /// [`set_options`] and consulted by
@@ -196,6 +202,7 @@ fn iteration_to_json(it: &IterationTrace) -> Value {
         .field("start_cycle", it.start_cycle)
         .field("end_cycle", it.end_cycle)
         .field("dropped_cycles", it.dropped_cycles)
+        .field("pipeline", it.pipeline.to_json())
         .field("units", Value::Array(it.units.iter().map(unit_to_json).collect()))
         .build()
 }
@@ -261,6 +268,9 @@ fn iteration_from_json(v: &Value) -> Result<IterationTrace, String> {
         start_cycle: need_u64(v, "start_cycle")?,
         end_cycle: need_u64(v, "end_cycle")?,
         dropped_cycles: need_u64(v, "dropped_cycles")?,
+        // Journals written before the profiler existed lack this field;
+        // restore them with zeroed counters.
+        pipeline: v.get("pipeline").map(PipelineStats::from_json).unwrap_or_default(),
         units,
     })
 }
@@ -290,7 +300,13 @@ pub fn load_journal(path: &Path) -> Result<JournalState, String> {
             continue;
         }
         let v = json::parse(line).map_err(|e| context(e.to_string()))?;
-        if v.get("schema").and_then(Value::as_str) != Some(TRIAL_SCHEMA) {
+        let schema = v.get("schema").and_then(Value::as_str);
+        if schema == Some(HEARTBEAT_SCHEMA) {
+            // Progress heartbeats interleave with trial lines; they carry
+            // no restorable state.
+            continue;
+        }
+        if schema != Some(TRIAL_SCHEMA) {
             return Err(context(format!("expected schema {TRIAL_SCHEMA}")));
         }
         let id = v
@@ -323,6 +339,104 @@ fn append_line(journal: &Mutex<File>, line: &str) {
     let mut file = journal.lock().unwrap_or_else(|p| p.into_inner());
     if let Err(e) = writeln!(file, "{line}") {
         diag_warn!("trial journal write failed: {e}");
+    }
+}
+
+/// One heartbeat journal line (compact JSON, no trailing newline).
+fn heartbeat_line(
+    task: &str,
+    completed: usize,
+    total: usize,
+    elapsed_sec: f64,
+    trials_per_sec: f64,
+    eta_sec: f64,
+) -> String {
+    Value::object()
+        .field("schema", HEARTBEAT_SCHEMA)
+        .field("task", task)
+        .field("completed", completed)
+        .field("total", total)
+        .field("elapsed_sec", elapsed_sec)
+        .field("trials_per_sec", trials_per_sec)
+        .field("eta_sec", if eta_sec.is_finite() { Value::from(eta_sec) } else { Value::Null })
+        .build()
+        .render_compact()
+}
+
+/// Live sweep progress: counts finished trials — completed **and**
+/// quarantined — and emits a throttled heartbeat (stderr line via
+/// [`diag::progress_rate`], JSONL event via the trial journal).
+///
+/// The final tick always emits, so consumers can assert the heartbeat
+/// reaches `total/total` even when every emission in between was
+/// throttled away. The displayed count is clamped to `total`: a trial
+/// whose `Ok` result is reclassified as a post-hoc timeout and then
+/// retried ticks once per classified attempt, and the clamp keeps the
+/// heartbeat monotone and bounded despite that double count.
+struct Heartbeat<'a> {
+    task: &'a str,
+    total: usize,
+    journal: Option<&'a Mutex<File>>,
+    done: AtomicUsize,
+    start: Instant,
+    last_emit: Mutex<Option<Instant>>,
+}
+
+impl<'a> Heartbeat<'a> {
+    fn new(task: &'a str, total: usize, journal: Option<&'a Mutex<File>>) -> Heartbeat<'a> {
+        Heartbeat {
+            task,
+            total,
+            journal,
+            done: AtomicUsize::new(0),
+            start: Instant::now(),
+            last_emit: Mutex::new(None),
+        }
+    }
+
+    /// Marks one trial finished and emits a heartbeat if one is due
+    /// (first tick, ~1 s since the last emission, or sweep complete).
+    fn tick(&self) {
+        let finished = (self.done.fetch_add(1, Ordering::Relaxed) + 1).min(self.total);
+        let due = {
+            let mut last = self.last_emit.lock().unwrap_or_else(|p| p.into_inner());
+            let due = finished >= self.total
+                || last.is_none_or(|t| t.elapsed() >= Duration::from_secs(1));
+            if due {
+                *last = Some(Instant::now());
+            }
+            due
+        };
+        if !due {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 { finished as f64 / elapsed } else { 0.0 };
+        let eta = if rate > 0.0 { (self.total - finished) as f64 / rate } else { f64::INFINITY };
+        diag::progress_rate(self.task, finished, self.total, rate, eta);
+        if let Some(j) = self.journal {
+            append_line(j, &heartbeat_line(self.task, finished, self.total, elapsed, rate, eta));
+        }
+    }
+
+    /// A guard that ticks on unwind when `armed` — the only way a
+    /// panicking final attempt can still count toward progress, since the
+    /// panic skips every statement after it in the trial closure.
+    fn panic_guard(&'a self, armed: bool) -> PanicTick<'a> {
+        PanicTick { heartbeat: self, armed }
+    }
+}
+
+struct PanicTick<'a> {
+    heartbeat: &'a Heartbeat<'a>,
+    armed: bool,
+}
+
+impl Drop for PanicTick<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            self.heartbeat.tick();
+        }
     }
 }
 
@@ -387,9 +501,24 @@ pub fn run_modexp_sweep(
         });
 
     let work: Vec<usize> = (0..n_keys).filter(|i| !restored.contains_key(i)).collect();
-    let total = work.len();
-    let done = AtomicUsize::new(0);
+    let heartbeat = Heartbeat::new(variant.name(), work.len(), journal.as_ref());
+    let max_attempts = opts.policy.max_attempts.max(1);
     let outcomes = microsampler_par::map_isolated(&opts.policy, &work, |_, &i, attempt| {
+        // A trial finishes by completing OR by exhausting its retries;
+        // both must tick the heartbeat, or a quarantined trial leaves the
+        // progress count short of total forever. Failures tick only on
+        // their *final* attempt so retries don't inflate the count; a
+        // panic is caught above this closure, so its tick rides on a
+        // drop guard armed iff this panic would be terminal.
+        let panic_is_final = !opts.policy.retry_panics || attempt + 1 >= max_attempts;
+        let _panic_tick = heartbeat.panic_guard(panic_is_final);
+        let error_is_final = !opts.policy.retry_sim_errors || attempt + 1 >= max_attempts;
+        let fail = |message: String| {
+            if error_is_final {
+                heartbeat.tick();
+            }
+            message
+        };
         let wedge = opts.wedge_trial == Some(i);
         // Re-seed per trial *and* per attempt: a retry explores a fresh
         // fault schedule, while `--threads N` determinism holds because
@@ -407,23 +536,23 @@ pub fn run_modexp_sweep(
         cfg.faults = faults;
         let trace = TraceConfig { faults, ..TraceConfig::default() };
         let key = &keys[i];
-        let mut machine =
-            kernel.machine(cfg, key, trace).map_err(|e| format!("{}: {e}", variant.name()))?;
+        let mut machine = kernel
+            .machine(cfg, key, trace)
+            .map_err(|e| fail(format!("{}: {e}", variant.name())))?;
         let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
-        let run = machine.run(budget).map_err(|e| format!("{}: {e}", variant.name()))?;
+        let run = machine.run(budget).map_err(|e| fail(format!("{}: {e}", variant.name())))?;
         let want = kernel.reference(key);
         if run.exit_code != want {
-            return Err(format!(
+            return Err(fail(format!(
                 "{} functional mismatch: got {}, want {want}",
                 variant.name(),
                 run.exit_code
-            ));
+            )));
         }
         if let Some(j) = &journal {
             append_line(j, &completed_line(&trial_id(i), &run.iterations));
         }
-        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-        diag::progress(variant.name(), finished, total);
+        heartbeat.tick();
         Ok(run.iterations)
     });
 
@@ -502,6 +631,12 @@ mod tests {
             start_cycle: 100,
             end_cycle: 140,
             dropped_cycles: 2,
+            pipeline: PipelineStats {
+                cycles: 40,
+                committed: 66,
+                rob_full_cycles: 5,
+                ..PipelineStats::default()
+            },
             units: vec![unit(0xdead_beef_dead_beef), unit(42)],
         }
     }
@@ -528,6 +663,92 @@ mod tests {
         let restored = &state.completed["v/mega/kb4/s42/key0000"];
         assert_eq!(restored, &iters, "features/order/hashes survive the round trip");
         assert_eq!(restored[0].units[0].features, iters[0].units[0].features);
+        assert_eq!(restored[0].pipeline, iters[0].pipeline, "profiling counters round-trip");
+    }
+
+    #[test]
+    fn journal_without_pipeline_field_restores_zeroed_counters() {
+        // A pre-profiler journal line: same schema, no `pipeline` object.
+        let mut it = sample_iteration(0);
+        it.pipeline = PipelineStats::default();
+        let line = completed_line("v/mega/kb4/s42/key0000", &[it.clone()]);
+        let stripped = {
+            let v = json::parse(&line).unwrap();
+            // Re-render without the pipeline field via a hand-built line.
+            let iters = v.get("iterations").unwrap().as_array().unwrap();
+            let legacy: Vec<Value> = iters
+                .iter()
+                .map(|i| {
+                    Value::object()
+                        .field("label", i.get("label").unwrap().clone())
+                        .field("start_cycle", i.get("start_cycle").unwrap().clone())
+                        .field("end_cycle", i.get("end_cycle").unwrap().clone())
+                        .field("dropped_cycles", i.get("dropped_cycles").unwrap().clone())
+                        .field("units", i.get("units").unwrap().clone())
+                        .build()
+                })
+                .collect();
+            Value::object()
+                .field("schema", TRIAL_SCHEMA)
+                .field("id", "v/mega/kb4/s42/key0000")
+                .field("status", "completed")
+                .field("iterations", Value::Array(legacy))
+                .build()
+                .render_compact()
+        };
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-legacy-{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{stripped}\n")).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let restored = &state.completed["v/mega/kb4/s42/key0000"];
+        assert_eq!(restored[0].pipeline, PipelineStats::default());
+        assert_eq!(restored[0], it);
+    }
+
+    #[test]
+    fn load_journal_skips_heartbeat_lines() {
+        let iters = vec![sample_iteration(0)];
+        let text = format!(
+            "{}\n{}\n",
+            heartbeat_line("sweep", 3, 8, 1.5, 2.0, 2.5),
+            completed_line("v/mega/kb4/s42/key0000", &iters),
+        );
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-heartbeat-{}.jsonl", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.completed.len(), 1, "heartbeat lines restore nothing");
+        // The heartbeat line itself is well-formed JSON with the documented fields.
+        let hb = json::parse(&heartbeat_line("sweep", 8, 8, 4.0, 2.0, 0.0)).unwrap();
+        assert_eq!(hb.get("schema").unwrap().as_str(), Some(HEARTBEAT_SCHEMA));
+        assert_eq!(hb.get("completed").unwrap().as_u64(), Some(8));
+        assert_eq!(hb.get("total").unwrap().as_u64(), Some(8));
+        assert!(hb.get("trials_per_sec").unwrap().as_f64().is_some());
+        assert!(hb.get("elapsed_sec").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn heartbeat_panic_guard_ticks_only_terminal_panics() {
+        let hb = Heartbeat::new("t", 4, None);
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = hb.panic_guard(true);
+            panic!("trial exploded");
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(hb.done.load(Ordering::Relaxed), 1, "terminal panic ticks");
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = hb.panic_guard(false);
+            panic!("will be retried");
+        }));
+        assert!(unwound.is_err());
+        assert_eq!(hb.done.load(Ordering::Relaxed), 1, "retried panic must not tick");
+        // A normal (non-unwinding) drop never ticks, armed or not.
+        drop(hb.panic_guard(true));
+        assert_eq!(hb.done.load(Ordering::Relaxed), 1);
+        hb.tick();
+        assert_eq!(hb.done.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -4,10 +4,11 @@
 
 use microsampler_bench::sweep::{self, SweepOptions, TrialEventKind};
 use microsampler_kernels::modexp::ModexpVariant;
+use microsampler_obs::{diag, json, Value};
 use microsampler_par::FailureClass;
 use microsampler_sim::{CoreConfig, FaultConfig};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The thread override and the trial event registry are process-global;
 /// serialize every test that touches them.
@@ -132,6 +133,60 @@ fn injected_fault_schedules_are_thread_count_invariant() {
     }
     let clean = run(1, None);
     assert_ne!(serial.iterations, clean.iterations, "the faults must actually perturb traces");
+}
+
+#[test]
+fn quarantined_trial_still_ticks_progress_and_heartbeat() {
+    let _l = LOCK.lock().unwrap();
+    sweep::reset_events();
+    let journal = tmp("heartbeat");
+    std::fs::write(&journal, "").unwrap();
+    let capture = Arc::new(Mutex::new(String::new()));
+    diag::set_progress(true);
+    diag::set_capture(Some(capture.clone()));
+    let opts = SweepOptions {
+        wedge_trial: Some(1),
+        journal: Some(journal.clone()),
+        isolate: true,
+        ..SweepOptions::default()
+    };
+    let out = sweep_with(&opts, 3, 42);
+    diag::set_capture(None);
+    diag::set_progress(false);
+    assert_eq!(out.completed, 2);
+    assert_eq!(out.quarantined.len(), 1);
+
+    // The wedged trial must still count toward progress: without the
+    // final-attempt tick the heartbeat stalls at 2/3 forever.
+    let stderr = capture.lock().unwrap().clone();
+    assert!(stderr.contains(": 3/3"), "progress must reach 3/3, got:\n{stderr}");
+
+    // Heartbeat JSONL events are interleaved with the trial records, are
+    // well-formed, and the final one reports completed == total.
+    let text = std::fs::read_to_string(&journal).unwrap();
+    std::fs::remove_file(&journal).ok();
+    let heartbeats: Vec<Value> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| json::parse(l).expect("every journal line is valid JSON"))
+        .filter(|v| v.get("schema").and_then(Value::as_str) == Some(sweep::HEARTBEAT_SCHEMA))
+        .collect();
+    assert!(!heartbeats.is_empty(), "the sweep must emit heartbeat events");
+    for hb in &heartbeats {
+        assert_eq!(hb.get("total").unwrap().as_u64(), Some(3));
+        assert!(hb.get("completed").unwrap().as_u64().is_some());
+        assert!(hb.get("elapsed_sec").unwrap().as_f64().is_some());
+        assert!(hb.get("trials_per_sec").unwrap().as_f64().is_some());
+    }
+    let last = heartbeats.last().unwrap();
+    assert_eq!(last.get("completed").unwrap().as_u64(), Some(3), "final heartbeat covers all");
+
+    // And the quarantined trial's metric merge is not poisoned: the event
+    // registry records exactly one quarantine alongside the completions.
+    let v = sweep::events_to_json();
+    assert_eq!(v.get("completed").unwrap().as_u64(), Some(2));
+    assert_eq!(v.get("quarantined").unwrap().as_array().unwrap().len(), 1);
+    sweep::reset_events();
 }
 
 #[test]

@@ -55,12 +55,17 @@ impl Analyzer {
         });
         let dropped_cycles = iterations.iter().map(|i| i.dropped_cycles).sum();
         let sampled_cycles = iterations.iter().map(|i| i.sampled_cycles()).sum();
+        let mut pipeline = microsampler_sim::PipelineStats::default();
+        for it in iterations {
+            pipeline.add(&it.pipeline);
+        }
         AnalysisReport {
             units,
             iterations: iterations.len(),
             classes: classes.len(),
             dropped_cycles,
             sampled_cycles,
+            pipeline,
         }
     }
 

@@ -199,6 +199,7 @@ mod tests {
             classes: 4,
             dropped_cycles: 0,
             sampled_cycles: 256,
+            pipeline: microsampler_sim::PipelineStats::default(),
         }
     }
 

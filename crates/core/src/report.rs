@@ -1,5 +1,5 @@
 use microsampler_obs::Value;
-use microsampler_sim::UnitId;
+use microsampler_sim::{PipelineStats, UnitId};
 use microsampler_stats::Association;
 use std::fmt;
 
@@ -78,6 +78,9 @@ pub struct AnalysisReport {
     pub dropped_cycles: u64,
     /// Snapshot cycles actually captured across all iterations.
     pub sampled_cycles: u64,
+    /// Pipeline profiling counters summed over the analyzed iterations
+    /// (per-EU occupancy, IPC, stall causes).
+    pub pipeline: PipelineStats,
 }
 
 impl AnalysisReport {
@@ -132,7 +135,8 @@ impl AnalysisReport {
 
     /// Renders the report as a JSON value (stable schema: `iterations`,
     /// `classes`, `leaky`, `needs_more_samples`, `degraded`,
-    /// `dropped_cycles`, `sampled_cycles`, `units` in canonical order).
+    /// `dropped_cycles`, `sampled_cycles`, `pipeline`, `units` in
+    /// canonical order).
     pub fn to_json(&self) -> Value {
         Value::object()
             .field("iterations", self.iterations)
@@ -142,6 +146,7 @@ impl AnalysisReport {
             .field("degraded", self.is_degraded())
             .field("dropped_cycles", self.dropped_cycles)
             .field("sampled_cycles", self.sampled_cycles)
+            .field("pipeline", self.pipeline.to_json())
             .field("units", Value::Array(self.units.iter().map(UnitReport::to_json).collect()))
             .build()
     }
@@ -199,7 +204,14 @@ mod tests {
             .collect();
         units[0].assoc.cramers_v = v;
         units[0].assoc.p_value = p;
-        AnalysisReport { units, iterations: 10, classes: 2, dropped_cycles: 0, sampled_cycles: 30 }
+        AnalysisReport {
+            units,
+            iterations: 10,
+            classes: 2,
+            dropped_cycles: 0,
+            sampled_cycles: 30,
+            pipeline: PipelineStats { cycles: 40, committed: 50, ..PipelineStats::default() },
+        }
     }
 
     #[test]
@@ -265,6 +277,13 @@ mod tests {
         assert_eq!(v.get("degraded").unwrap(), &microsampler_obs::Value::Bool(false));
         assert_eq!(v.get("dropped_cycles").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("sampled_cycles").unwrap().as_u64(), Some(30));
+        let pipeline = v.get("pipeline").unwrap();
+        assert_eq!(pipeline.get("cycles").unwrap().as_u64(), Some(40));
+        assert_eq!(pipeline.get("committed").unwrap().as_u64(), Some(50));
+        assert!(pipeline.get("ipc").unwrap().as_f64().is_some());
+        for name in PipelineStats::FIELD_NAMES {
+            assert!(pipeline.get(name).is_some(), "pipeline.{name} missing");
+        }
         let units = v.get("units").unwrap().as_array().unwrap();
         assert_eq!(units.len(), 16);
         let first = &units[0];

@@ -124,6 +124,22 @@ pub fn progress(task: &str, done: usize, total: usize) {
     }
 }
 
+/// Emits a heartbeat with throughput and ETA, e.g.
+/// `[progress] ME-V1-MV: 12/96 (3.1 trials/s, ETA 27s)` (no-op unless
+/// enabled). Non-finite or non-positive rates suppress the parenthetical.
+pub fn progress_rate(task: &str, done: usize, total: usize, trials_per_sec: f64, eta_sec: f64) {
+    if !progress_enabled() {
+        return;
+    }
+    if trials_per_sec.is_finite() && trials_per_sec > 0.0 && eta_sec.is_finite() {
+        write_line(&format!(
+            "[progress] {task}: {done}/{total} ({trials_per_sec:.1} trials/s, ETA {eta_sec:.0}s)"
+        ));
+    } else {
+        write_line(&format!("[progress] {task}: {done}/{total}"));
+    }
+}
+
 /// Routes diagnostics into a shared buffer instead of stderr (tests).
 /// Pass `None` to restore stderr.
 pub fn set_capture(buffer: Option<Arc<Mutex<String>>>) {
@@ -237,5 +253,17 @@ mod tests {
         set_progress(false);
         let out = with_capture(|| progress("table5", 4, 27));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn progress_rate_includes_throughput_and_eta() {
+        let _l = LOCK.lock().unwrap();
+        set_progress(true);
+        let out = with_capture(|| progress_rate("sweep", 12, 96, 3.24, 26.7));
+        assert_eq!(out, "[progress] sweep: 12/96 (3.2 trials/s, ETA 27s)\n");
+        // Degenerate rates fall back to the plain form.
+        let out = with_capture(|| progress_rate("sweep", 0, 96, 0.0, f64::INFINITY));
+        assert_eq!(out, "[progress] sweep: 0/96\n");
+        set_progress(false);
     }
 }

@@ -1,13 +1,17 @@
 //! Structured telemetry for the MicroSampler pipeline.
 //!
-//! Five independent, dependency-free layers:
+//! Six independent, dependency-free layers:
 //!
 //! * [`mod@span`] — hierarchical scoped timers over the analysis pipeline
 //!   (simulate → parse → correlate → extract). Near-zero cost when
 //!   disabled: one relaxed atomic load, no clock read, no allocation.
+//! * [`trace_event`] — Chrome trace-event / Perfetto JSON export of the
+//!   span forest (`repro profile --trace-out`, openable in
+//!   ui.perfetto.dev).
 //! * [`metrics`] — a process-wide registry aggregating named counters
 //!   (simulator `CoreStats` counters, tracer volumes) per trial and
-//!   across a sweep (count/sum/min/max).
+//!   across a sweep (count/sum/min/max plus a power-of-two histogram
+//!   for p50/p99).
 //! * [`mod@diag`] — a leveled diagnostic sink (`MICROSAMPLER_LOG`) and sweep
 //!   progress heartbeats (`MICROSAMPLER_PROGRESS`) replacing ad-hoc
 //!   `eprintln!` debugging.
@@ -42,6 +46,7 @@ pub mod json;
 pub mod metrics;
 pub mod sarif;
 pub mod span;
+pub mod trace_event;
 
 pub use diag::Level;
 pub use json::Value;

@@ -1,10 +1,11 @@
 //! Process-wide metrics registry.
 //!
-//! Named observations aggregate into count/sum/min/max/last cells, so a
-//! sweep that simulates N trials and records `sim.cycles` per trial ends
-//! up with one cell carrying the per-trial distribution summary. Like the
-//! span layer, the registry is **off by default** and [`record`] is one
-//! relaxed atomic load when disabled.
+//! Named observations aggregate into count/sum/min/max/last cells plus a
+//! fixed power-of-two histogram ([`Agg::percentile`]), so a sweep that
+//! simulates N trials and records `sim.cycles` per trial ends up with one
+//! cell carrying the per-trial distribution summary (mean, p50, p99, …).
+//! Like the span layer, the registry is **off by default** and [`record`]
+//! is one relaxed atomic load when disabled.
 //!
 //! Naming convention used by the pipeline (dotted, lowercase):
 //! `sim.*` for simulator counters exported from `CoreStats`
@@ -20,6 +21,11 @@ use crate::json::Value;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static REGISTRY: Mutex<BTreeMap<String, Agg>> = Mutex::new(BTreeMap::new());
 
+/// Number of histogram buckets per cell: bucket 0 holds `value ≤ 0`,
+/// bucket `i > 0` holds `2^(i-32) ≤ value < 2^(i-31)` — covering
+/// ~2.3e-10 through ~4.3e9 with one bucket per power of two.
+const BUCKETS: usize = 64;
+
 /// Aggregate of all observations recorded under one name.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Agg {
@@ -33,6 +39,24 @@ pub struct Agg {
     pub max: f64,
     /// Most recent observed value.
     pub last: f64,
+    /// Power-of-two histogram (see [`BUCKETS`]); fixed size keeps the cell
+    /// `Copy` and the per-observation cost O(1).
+    buckets: [u32; BUCKETS],
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 || !value.is_finite() {
+        return 0;
+    }
+    (value.log2().floor() as i32 + 32).clamp(0, BUCKETS as i32 - 1) as usize
+}
+
+fn bucket_floor(idx: usize) -> f64 {
+    if idx == 0 {
+        0.0
+    } else {
+        2f64.powi(idx as i32 - 32)
+    }
 }
 
 impl Agg {
@@ -42,10 +66,13 @@ impl Agg {
         self.min = self.min.min(value);
         self.max = self.max.max(value);
         self.last = value;
+        self.buckets[bucket_index(value)] += 1;
     }
 
     fn first(value: f64) -> Agg {
-        Agg { count: 1, sum: value, min: value, max: value, last: value }
+        let mut buckets = [0u32; BUCKETS];
+        buckets[bucket_index(value)] = 1;
+        Agg { count: 1, sum: value, min: value, max: value, last: value, buckets }
     }
 
     /// Mean observation.
@@ -55,6 +82,45 @@ impl Agg {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Quantile estimate from the power-of-two histogram: the lower bound
+    /// of the bucket containing the `q`-quantile observation, clamped to
+    /// `[min, max]`. Resolution is one power of two; exact for cells with
+    /// a single distinct value.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c as u64;
+            if seen >= rank {
+                return bucket_floor(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate ([`Agg::percentile`] at 0.5).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile estimate ([`Agg::percentile`] at 0.99).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Non-empty histogram buckets as `(lower_bound, count)` pairs.
+    pub fn histogram(&self) -> Vec<(f64, u32)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_floor(i), c))
+            .collect()
     }
 }
 
@@ -112,7 +178,10 @@ pub fn reset() {
 }
 
 /// Renders a snapshot as a JSON object keyed by metric name, each cell
-/// `{count, sum, min, max, last, mean}`.
+/// `{count, sum, min, max, last, mean, p50, p99, histogram}`. The
+/// `histogram` is the non-empty power-of-two buckets as `{ge, count}`
+/// objects. (`p50`/`p99`/`histogram` are additive over the original
+/// five-field schema; consumers of the old fields are unaffected.)
 pub fn snapshot_to_json(snapshot: &[(String, Agg)]) -> Value {
     Value::Object(
         snapshot
@@ -127,6 +196,22 @@ pub fn snapshot_to_json(snapshot: &[(String, Agg)]) -> Value {
                         .field("max", agg.max)
                         .field("last", agg.last)
                         .field("mean", agg.mean())
+                        .field("p50", agg.p50())
+                        .field("p99", agg.p99())
+                        .field(
+                            "histogram",
+                            Value::Array(
+                                agg.histogram()
+                                    .into_iter()
+                                    .map(|(ge, count)| {
+                                        Value::object()
+                                            .field("ge", ge)
+                                            .field("count", count)
+                                            .build()
+                                    })
+                                    .collect(),
+                            ),
+                        )
                         .build(),
                 )
             })
@@ -160,6 +245,54 @@ mod tests {
         assert_eq!(cycles.last, 20.0);
         assert_eq!(cycles.mean(), 20.0);
         assert!(snap.iter().any(|(n, _)| n == "t.ipc"));
+    }
+
+    #[test]
+    fn histogram_and_percentiles() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        // 99 observations at 10, one outlier at 5000.
+        for _ in 0..99 {
+            record("h.v", 10.0);
+        }
+        record("h.v", 5000.0);
+        let snap = snapshot();
+        set_enabled(false);
+        let agg = &snap.iter().find(|(n, _)| n == "h.v").unwrap().1;
+        assert_eq!(agg.count, 100);
+        // p50 lands in the bucket holding 10 (floor 8, clamped to min 10).
+        assert_eq!(agg.p50(), 10.0);
+        // p99 still lands in the bulk; p100 == max catches the outlier.
+        assert_eq!(agg.p99(), 10.0);
+        assert_eq!(agg.percentile(1.0), 4096.0_f64.clamp(agg.min, agg.max));
+        let hist = agg.histogram();
+        assert_eq!(hist.len(), 2, "two distinct buckets: {hist:?}");
+        assert_eq!(hist[0], (8.0, 99));
+        assert_eq!(hist[1].1, 1);
+        // Degenerate cells.
+        let empty = Agg { count: 0, sum: 0.0, min: 0.0, max: 0.0, last: 0.0, buckets: [0; 64] };
+        assert_eq!(empty.p50(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_gains_percentiles_additively() {
+        let _l = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        record("j.v", 4.0);
+        record("j.v", 4.0);
+        let json = snapshot_to_json(&snapshot());
+        set_enabled(false);
+        let cell = json.get("j.v").unwrap();
+        for key in ["count", "sum", "min", "max", "last", "mean", "p50", "p99"] {
+            assert!(cell.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(cell.get("p50").unwrap().as_f64(), Some(4.0));
+        let hist = cell.get("histogram").unwrap().as_array().unwrap();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].get("ge").unwrap().as_f64(), Some(4.0));
+        assert_eq!(hist[0].get("count").unwrap().as_u64(), Some(2));
     }
 
     #[test]

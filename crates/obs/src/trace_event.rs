@@ -1,0 +1,129 @@
+//! Chrome trace-event (Perfetto) export of the span forest.
+//!
+//! The span layer aggregates timings per tree node (count + total) and
+//! keeps no per-occurrence timestamps, so this exporter *synthesizes* a
+//! deterministic timeline: spans are laid out sequentially from t = 0,
+//! each node occupying a slice as wide as its aggregated total, with its
+//! children packed left-aligned inside it. The result is a faithful
+//! where-did-the-time-go flame graph — proportions and nesting are exact,
+//! absolute timestamps are synthetic.
+//!
+//! The output is the trace-event JSON object format (`{"traceEvents":
+//! [...]}`) with `ph: "X"` complete events, loadable directly in
+//! [ui.perfetto.dev](https://ui.perfetto.dev) or `chrome://tracing`.
+
+use crate::json::Value;
+use crate::span::SpanNode;
+
+/// Converts a span forest (from [`crate::span::take`]) into a trace-event
+/// JSON object. Roots are laid out end-to-end starting at t = 0; event
+/// `ts`/`dur` are microseconds with sub-µs totals rounded up so zero-width
+/// events stay visible.
+pub fn spans_to_trace_events(roots: &[SpanNode]) -> Value {
+    let mut events = Vec::new();
+    let mut cursor = 0u64;
+    for node in roots {
+        let dur = emit(node, cursor, &mut events);
+        cursor += dur;
+    }
+    Value::object().field("traceEvents", Value::Array(events)).build()
+}
+
+/// Emits `node` at `ts`, children packed sequentially inside it; returns
+/// the node's duration in µs.
+fn emit(node: &SpanNode, ts: u64, events: &mut Vec<Value>) -> u64 {
+    let dur = (node.total.as_micros() as u64).max(1);
+    events.push(
+        Value::object()
+            .field("name", node.name)
+            .field("cat", "span")
+            .field("ph", "X")
+            .field("pid", 1u64)
+            .field("tid", 1u64)
+            .field("ts", ts)
+            .field("dur", dur)
+            .field("args", Value::object().field("count", node.count).build())
+            .build(),
+    );
+    let mut child_ts = ts;
+    for child in &node.children {
+        child_ts += emit(child, child_ts, events);
+    }
+    dur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use std::time::Duration;
+
+    fn node(name: &'static str, ms: u64, children: Vec<SpanNode>) -> SpanNode {
+        SpanNode { name, count: 1, total: Duration::from_millis(ms), children }
+    }
+
+    fn event<'a>(events: &'a [Value], name: &str) -> &'a Value {
+        events
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some(name))
+            .unwrap_or_else(|| panic!("no event `{name}`"))
+    }
+
+    fn span_of(e: &Value) -> (u64, u64) {
+        (e.get("ts").unwrap().as_u64().unwrap(), e.get("dur").unwrap().as_u64().unwrap())
+    }
+
+    #[test]
+    fn nested_forest_round_trips_with_ordered_ts_dur() {
+        let forest = vec![
+            node(
+                "run",
+                10,
+                vec![
+                    node("simulate", 6, vec![node("fold", 2, vec![])]),
+                    node("analyze", 3, vec![]),
+                ],
+            ),
+            node("report", 5, vec![]),
+        ];
+        let rendered = spans_to_trace_events(&forest).render_compact();
+        // Round-trip through the parser, as a Perfetto-style consumer would.
+        let parsed = json::parse(&rendered).unwrap();
+        let events = parsed.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 5);
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("X"));
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+            assert!(e.get("tid").unwrap().as_u64().is_some());
+        }
+        let (run_ts, run_dur) = span_of(event(events, "run"));
+        let (sim_ts, sim_dur) = span_of(event(events, "simulate"));
+        let (fold_ts, fold_dur) = span_of(event(events, "fold"));
+        let (an_ts, an_dur) = span_of(event(events, "analyze"));
+        let (rep_ts, rep_dur) = span_of(event(events, "report"));
+        // Children nest inside their parent's interval.
+        assert!(sim_ts >= run_ts && sim_ts + sim_dur <= run_ts + run_dur);
+        assert!(fold_ts >= sim_ts && fold_ts + fold_dur <= sim_ts + sim_dur);
+        // Siblings are laid out sequentially, in tree order.
+        assert_eq!(an_ts, sim_ts + sim_dur);
+        assert!(an_ts + an_dur <= run_ts + run_dur);
+        // Roots are laid out end-to-end from t = 0.
+        assert_eq!(run_ts, 0);
+        assert_eq!(rep_ts, run_ts + run_dur);
+        assert_eq!((run_dur, sim_dur, rep_dur), (10_000, 6_000, 5_000));
+    }
+
+    #[test]
+    fn zero_duration_spans_stay_visible() {
+        let forest = vec![node("instant", 0, vec![])];
+        let v = spans_to_trace_events(&forest);
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("dur").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn empty_forest_yields_empty_event_list() {
+        let v = spans_to_trace_events(&[]);
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+}

@@ -10,6 +10,7 @@ use crate::config::{CoreConfig, PrefetcherKind};
 use crate::fault::{FaultCounts, FaultPlan};
 use crate::interp;
 use crate::memory::Memory;
+use crate::pipeline::{PipelineStats, WATCHDOG_NEAR_MISS_CYCLES};
 use crate::predictor::{Btb, Gshare, ReturnAddressStack};
 use crate::tlb::Tlb;
 use crate::trace::{TraceConfig, Tracer, UnitId};
@@ -140,6 +141,13 @@ pub(crate) struct Core {
     pub mem: Memory,
     pub cycle: u64,
     pub stats: CoreStats,
+    /// Pipeline occupancy/stall profiling counters (always on — pure
+    /// integer counters, so they stay bit-identical regardless of `obs`
+    /// enablement or thread count).
+    pub pipeline: PipelineStats,
+    /// Snapshot of `pipeline` at the last `ITER_START`/`ITER_END` marker;
+    /// per-iteration deltas are measured against it.
+    iter_pipeline_base: PipelineStats,
     pub tracer: Tracer,
     pub arch_regs: [u64; 32],
     // Front end.
@@ -260,6 +268,8 @@ impl Core {
             mem,
             cycle: 0,
             stats: CoreStats::default(),
+            pipeline: PipelineStats::default(),
+            iter_pipeline_base: PipelineStats::default(),
             tracer: Tracer::new(trace_cfg),
             cfg,
             exit: None,
@@ -348,6 +358,10 @@ impl Core {
     /// Advances one cycle. Sets `self.exit` when the program stops.
     pub fn tick(&mut self) {
         self.cycle += 1;
+        self.pipeline.cycles += 1;
+        if self.cycle - self.last_commit_cycle == WATCHDOG_NEAR_MISS_CYCLES {
+            self.pipeline.watchdog_near_misses += 1;
+        }
         self.alu_busy.iter_mut().for_each(|b| *b = 0);
         self.agu_busy.iter_mut().for_each(|b| *b = 0);
         self.nlp_issued.clear();
@@ -364,6 +378,8 @@ impl Core {
         self.complete_long_ops();
         self.lsu_tick();
         self.issue();
+        self.pipeline.mul_busy += !self.mul_inflight.is_empty() as u64;
+        self.pipeline.div_busy += self.div_busy.is_some() as u64;
         self.rename();
         self.fetch();
         self.sample_trace();
@@ -444,6 +460,7 @@ impl Core {
             self.rob_base_seq = head.seq + 1;
             self.last_commit_cycle = self.cycle;
             self.stats.committed += 1 + head.fused.len() as u64;
+            self.pipeline.committed += 1 + head.fused.len() as u64;
             // Free stale physical registers.
             for f in &head.fused {
                 if let Some(stale) = f.stale_prd {
@@ -503,8 +520,18 @@ impl Core {
         match csr {
             CSR_SCR_START => self.tracer.scr_start(self.cycle),
             CSR_SCR_END => self.tracer.scr_end(self.cycle),
-            CSR_ITER_START => self.tracer.iter_start(self.cycle, value),
-            CSR_ITER_END => self.tracer.iter_end(self.cycle),
+            CSR_ITER_START => {
+                let delta = self.pipeline.delta_since(&self.iter_pipeline_base);
+                self.tracer.set_pipeline(delta);
+                self.tracer.iter_start(self.cycle, value);
+                self.iter_pipeline_base = self.pipeline;
+            }
+            CSR_ITER_END => {
+                let delta = self.pipeline.delta_since(&self.iter_pipeline_base);
+                self.tracer.set_pipeline(delta);
+                self.tracer.iter_end(self.cycle);
+                self.iter_pipeline_base = self.pipeline;
+            }
             CSR_EXIT => self.exit = Some(CoreExit::ExitCsr(value)),
             CSR_FLUSH_LINE => self.l1d.flush_line(value),
             CSR_FLUSH_DCACHE => self.l1d.flush_all(),
@@ -667,6 +694,9 @@ impl Core {
         // new LSU work: no store drains, no new load issues. Completions
         // already in flight and store-data capture still proceed.
         let stalled = self.cycle < self.lsu_stall_until;
+        if stalled {
+            self.pipeline.fault_stall_cycles += 1;
+        }
         // Drain committed stores.
         let mut drain_reqs: Vec<(u64, u64)> = Vec::new();
         if !stalled {
@@ -707,7 +737,10 @@ impl Core {
                     self.maybe_prefetch(addr);
                     (StState::Drained, c)
                 }
-                Access::Retry => (StState::Draining, 0),
+                Access::Retry => {
+                    self.pipeline.lsu_retry_events += 1;
+                    (StState::Draining, 0)
+                }
             };
             if let Some(e) = self.stq.iter_mut().find(|e| e.seq == seq) {
                 if state == StState::Drained {
@@ -824,6 +857,7 @@ impl Core {
                 true
             }
             Access::Retry => {
+                self.pipeline.lsu_retry_events += 1;
                 let e = self.ldq.iter_mut().find(|e| e.seq == seq).expect("load");
                 e.tlb_done = true;
                 e.extra_delay = extra;
@@ -982,6 +1016,8 @@ impl Core {
             issued += 1;
         }
         self.iq.retain(|s| !remove.contains(s));
+        self.pipeline.alu_busy += alus_used as u64;
+        self.pipeline.agu_busy += agus_used as u64;
     }
 
     fn execute_alu(&mut self, seq: u64, a: u64, b: u64) {
@@ -1045,28 +1081,54 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn rename(&mut self) {
-        for _ in 0..self.cfg.decode_width {
-            let Some(fe) = self.fetch_buffer.front() else { break };
+        // Stall-cause attribution: when *zero* instructions rename this
+        // cycle, charge the cycle to whatever blocked the first slot (any
+        // later slot only runs because every earlier one renamed).
+        for slot in 0..self.cfg.decode_width {
+            let Some(fe) = self.fetch_buffer.front() else {
+                if slot == 0 {
+                    self.pipeline.fetch_starved_cycles += 1;
+                }
+                break;
+            };
             if self.rob.len() >= self.cfg.rob_entries {
+                if slot == 0 {
+                    self.pipeline.rob_full_cycles += 1;
+                }
                 break;
             }
             // A fence drains the store queue: it does not rename until
             // every older store (including background drains) has left.
             if matches!(fe.inst, Inst::Fence) && !self.stq.is_empty() {
+                if slot == 0 {
+                    self.pipeline.dispatch_stall_cycles += 1;
+                }
                 break;
             }
             let needs_iq = !matches!(fe.inst, Inst::Ecall | Inst::Ebreak | Inst::Fence);
             if needs_iq && self.iq.len() >= self.cfg.iq_entries {
+                if slot == 0 {
+                    self.pipeline.dispatch_stall_cycles += 1;
+                }
                 break;
             }
             if fe.inst.is_load() && self.ldq.len() >= self.cfg.ldq_entries {
+                if slot == 0 {
+                    self.pipeline.dispatch_stall_cycles += 1;
+                }
                 break;
             }
             if fe.inst.is_store() && self.stq.len() >= self.cfg.stq_entries {
+                if slot == 0 {
+                    self.pipeline.dispatch_stall_cycles += 1;
+                }
                 break;
             }
             let needs_preg = fe.inst.rd().is_some();
             if needs_preg && self.free_pregs.is_empty() {
+                if slot == 0 {
+                    self.pipeline.dispatch_stall_cycles += 1;
+                }
                 break;
             }
             let fe = self.fetch_buffer.pop_front().expect("checked above");
@@ -1178,9 +1240,11 @@ impl Core {
     fn fetch(&mut self) {
         if self.redirect_bubble > 0 {
             self.redirect_bubble -= 1;
+            self.pipeline.squash_recovery_cycles += 1;
             return;
         }
         if self.icache_stall_until > self.cycle {
+            self.pipeline.icache_stall_cycles += 1;
             return;
         }
         let mut fetched = 0;
@@ -1199,6 +1263,7 @@ impl Core {
                 Access::Miss(ready) => {
                     self.stats.l1i_misses += 1;
                     self.icache_stall_until = ready;
+                    self.pipeline.icache_stall_cycles += 1;
                     return;
                 }
                 Access::Retry => return,

@@ -51,6 +51,7 @@ mod fault;
 pub mod interp;
 mod machine;
 mod memory;
+mod pipeline;
 mod predictor;
 mod tlb;
 mod trace;
@@ -62,6 +63,7 @@ pub use fault::{
 };
 pub use machine::{Machine, RunResult, SimError};
 pub use memory::Memory;
+pub use pipeline::{PipelineStats, StallBreakdown, WATCHDOG_NEAR_MISS_CYCLES};
 pub use predictor::{Btb, Gshare, ReturnAddressStack};
 pub use tlb::Tlb;
 pub use trace::{

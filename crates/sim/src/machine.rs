@@ -3,6 +3,7 @@
 use crate::config::CoreConfig;
 use crate::core::{Core, CoreExit};
 use crate::fault::FaultCounts;
+use crate::pipeline::PipelineStats;
 use crate::trace::{IterationTrace, TraceConfig};
 use crate::CoreStats;
 use microsampler_isa::{Program, Reg};
@@ -52,6 +53,8 @@ pub struct RunResult {
     pub iterations: Vec<IterationTrace>,
     /// Microarchitectural statistics.
     pub stats: CoreStats,
+    /// Pipeline occupancy/stall profiling counters over the whole run.
+    pub pipeline: PipelineStats,
     /// Faults injected during the run (all zero without fault injection).
     pub fault_counts: FaultCounts,
 }
@@ -128,8 +131,16 @@ impl Machine {
         self.core.tracer.finalize();
         let iterations = std::mem::take(&mut self.core.tracer.iterations);
         let fault_counts = self.fault_counts();
+        let pipeline = self.core.pipeline;
         self.export_metrics(&stats, iterations.len(), &fault_counts);
-        Ok(RunResult { cycles: self.core.cycle, exit_code, iterations, stats, fault_counts })
+        Ok(RunResult {
+            cycles: self.core.cycle,
+            exit_code,
+            iterations,
+            stats,
+            pipeline,
+            fault_counts,
+        })
     }
 
     /// Combined fault counters: the core's pipeline perturbations plus the
@@ -167,6 +178,25 @@ impl Machine {
                 ("stl_forwards", stats.stl_forwards as f64),
                 ("prefetches", stats.prefetches as f64),
                 ("fast_bypasses", stats.fast_bypasses as f64),
+            ],
+        );
+        let p = &self.core.pipeline;
+        microsampler_obs::metrics::record_batch(
+            "sim.pipeline",
+            &[
+                ("ipc", p.ipc()),
+                ("alu_busy", p.alu_busy as f64),
+                ("agu_busy", p.agu_busy as f64),
+                ("mul_busy", p.mul_busy as f64),
+                ("div_busy", p.div_busy as f64),
+                ("icache_stall_cycles", p.icache_stall_cycles as f64),
+                ("fetch_starved_cycles", p.fetch_starved_cycles as f64),
+                ("rob_full_cycles", p.rob_full_cycles as f64),
+                ("dispatch_stall_cycles", p.dispatch_stall_cycles as f64),
+                ("lsu_retry_events", p.lsu_retry_events as f64),
+                ("fault_stall_cycles", p.fault_stall_cycles as f64),
+                ("squash_recovery_cycles", p.squash_recovery_cycles as f64),
+                ("watchdog_near_misses", p.watchdog_near_misses as f64),
             ],
         );
         let tracer = &self.core.tracer;
@@ -258,6 +288,11 @@ mod tests {
             assert_eq!(m.reg(Reg::new(10)), 63);
             assert!(r.cycles > 0);
             assert!(r.stats.ipc() > 0.0);
+            // Pipeline profiling mirrors the architectural counters exactly.
+            assert_eq!(r.pipeline.cycles, r.stats.cycles);
+            assert_eq!(r.pipeline.committed, r.stats.committed);
+            assert!(r.pipeline.alu_busy > 0);
+            assert!((r.pipeline.ipc() - r.stats.ipc()).abs() < 1e-12);
         }
     }
 
@@ -407,6 +442,15 @@ mod tests {
         assert!(r.iterations[0].cycles() > 0);
         // ROB-PC must have sampled something.
         assert!(r.iterations[0].unit(crate::UnitId::RobPc).cycle_rows > 0);
+        // Each iteration carries its own pipeline delta, and the deltas
+        // cannot exceed the run-level totals.
+        for it in &r.iterations {
+            assert!(it.pipeline.cycles > 0);
+            assert!(it.pipeline.committed > 0);
+            assert!(it.pipeline.cycles <= r.pipeline.cycles);
+        }
+        let iter_cycles: u64 = r.iterations.iter().map(|i| i.pipeline.cycles).sum();
+        assert!(iter_cycles <= r.pipeline.cycles);
     }
 
     #[test]

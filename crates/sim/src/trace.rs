@@ -16,6 +16,7 @@
 //! produce byte-identical summaries.
 
 use crate::fault::{FaultConfig, FaultPlan};
+use crate::pipeline::PipelineStats;
 use microsampler_stats::SipHasher;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -198,6 +199,10 @@ pub struct IterationTrace {
     pub end_cycle: u64,
     /// Snapshot cycles lost to injected capture faults (0 in clean runs).
     pub dropped_cycles: u64,
+    /// Pipeline profiling deltas over this iteration (set by the core via
+    /// [`Tracer::set_pipeline`]; all-zero for hand-driven tracers and logs
+    /// without `P` records).
+    pub pipeline: PipelineStats,
     /// Per-unit summaries, indexed by [`UnitId::index`].
     pub units: Vec<UnitTrace>,
 }
@@ -337,6 +342,7 @@ struct PendingIteration {
     start_cycle: u64,
     end_cycle: u64,
     dropped: u64,
+    pipeline: PipelineStats,
     units: Vec<UnitBuilder>,
 }
 
@@ -377,6 +383,9 @@ pub struct Tracer {
     /// Guards double-counting a drop when the same cycle is begun twice
     /// (the parser replays one `D` record per lost cycle).
     counted_drop_for: Option<u64>,
+    /// Pipeline deltas for the open iteration, staged by
+    /// [`Tracer::set_pipeline`] and consumed when the iteration closes.
+    current_pipeline: PipelineStats,
     log: Option<String>,
 }
 
@@ -399,6 +408,7 @@ impl Tracer {
             fault_plan: cfg.faults.map(FaultPlan::new),
             drop_this_cycle: false,
             counted_drop_for: None,
+            current_pipeline: PipelineStats::default(),
             log: None,
         }
     }
@@ -440,6 +450,7 @@ impl Tracer {
     /// iteration is finalized first.
     pub fn iter_start(&mut self, cycle: u64, label: u64) {
         self.iter_end(cycle);
+        self.current_pipeline = PipelineStats::default();
         let sharded = self.sharded;
         self.current = Some(InProgress {
             label,
@@ -453,15 +464,34 @@ impl Tracer {
         }
     }
 
+    /// Stages the pipeline profiling deltas for the open iteration (the
+    /// core calls this right before the closing marker commit). No-op when
+    /// no iteration is open, so stray marker sequences leave no residue.
+    pub fn set_pipeline(&mut self, pipeline: PipelineStats) {
+        if self.current.is_none() {
+            return;
+        }
+        self.current_pipeline = pipeline;
+        if let Some(log) = &mut self.log {
+            log.push('P');
+            for v in pipeline.to_array() {
+                log.push_str(&format!(" {v}"));
+            }
+            log.push('\n');
+        }
+    }
+
     /// Handles an `ITER_END` marker commit.
     pub fn iter_end(&mut self, cycle: u64) {
         if let Some(cur) = self.current.take() {
+            let pipeline = std::mem::take(&mut self.current_pipeline);
             if self.sharded {
                 self.deferred.push(PendingIteration {
                     label: cur.label,
                     start_cycle: cur.start_cycle,
                     end_cycle: cur.last_cycle,
                     dropped: cur.dropped,
+                    pipeline,
                     units: cur.units,
                 });
             } else {
@@ -470,6 +500,7 @@ impl Tracer {
                     start_cycle: cur.start_cycle,
                     end_cycle: cur.last_cycle,
                     dropped_cycles: cur.dropped,
+                    pipeline,
                     units: cur.units.into_iter().map(UnitBuilder::finish).collect(),
                 });
             }
@@ -505,6 +536,7 @@ impl Tracer {
                 start_cycle: p.start_cycle,
                 end_cycle: p.end_cycle,
                 dropped_cycles: p.dropped,
+                pipeline: p.pipeline,
                 units: p.units.into_iter().map(UnitBuilder::finish).collect(),
             });
         }
@@ -675,6 +707,19 @@ pub fn parse_text_log(text: &str, cfg: TraceConfig) -> Result<Vec<IterationTrace
                     .ok_or_else(|| err("missing dropped cycle".into()))?;
                 tracer.drop_cycle(cycle);
             }
+            Some("P") => {
+                let mut vals = [0u64; PipelineStats::FIELDS];
+                for slot in vals.iter_mut() {
+                    *slot = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("bad pipeline record".into()))?;
+                }
+                if parts.next().is_some() {
+                    return Err(err("trailing pipeline values".into()));
+                }
+                tracer.set_pipeline(PipelineStats::from_array(vals));
+            }
             Some(other) => return Err(err(format!("unknown record `{other}`"))),
             None => {}
         }
@@ -704,6 +749,7 @@ mod tests {
         t.begin_cycle(13);
         t.record_row(UnitId::SqAddr, &[0x100, 0x200, 0]);
         t.record_row(UnitId::RobOccupancy, &[4]);
+        t.set_pipeline(PipelineStats { cycles: 4, committed: 6, ..PipelineStats::default() });
         t.iter_end(14);
         t.scr_end(14);
         t
@@ -935,6 +981,39 @@ mod tests {
     #[test]
     fn parse_rejects_bad_drop_record() {
         assert!(parse_text_log("D nope\n", TraceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn pipeline_deltas_attach_to_iterations_and_round_trip() {
+        let t = sample_tracer(false);
+        let expect = PipelineStats { cycles: 4, committed: 6, ..PipelineStats::default() };
+        assert_eq!(t.iterations[0].pipeline, expect);
+        let log = t.log_text().unwrap();
+        assert!(log.contains("\nP 4 6 "), "pipeline record must be logged");
+        let parsed = parse_text_log(log, TraceConfig::default()).unwrap();
+        assert_eq!(parsed[0].pipeline, expect);
+    }
+
+    #[test]
+    fn set_pipeline_without_open_iteration_leaves_no_residue() {
+        let mut t = Tracer::new(TraceConfig::default());
+        t.enable_log();
+        t.scr_start(0);
+        t.set_pipeline(PipelineStats { cycles: 99, ..PipelineStats::default() });
+        t.iter_start(1, 0);
+        t.begin_cycle(2);
+        t.record_row(UnitId::SqAddr, &[1]);
+        t.iter_end(3);
+        t.scr_end(4);
+        assert_eq!(t.iterations[0].pipeline, PipelineStats::default());
+        assert!(!t.log_text().unwrap().contains("\nP "), "stray set must not be logged");
+    }
+
+    #[test]
+    fn parse_rejects_bad_pipeline_record() {
+        assert!(parse_text_log("P 1 2\n", TraceConfig::default()).is_err());
+        let too_many = format!("P{}\n", " 1".repeat(PipelineStats::FIELDS + 1));
+        assert!(parse_text_log(&too_many, TraceConfig::default()).is_err());
     }
 
     #[test]
