@@ -7,7 +7,8 @@
 //!                       [--journal FILE] [--resume FILE] [--retries N]
 //!                       [--trial-timeout SECS]
 //! repro lint [--all | <kernel>...] [--static] [--sarif FILE]
-//!            [--baseline FILE] [--trials N] [--seed N] [--threads N]
+//!            [--baseline FILE] [--update-baseline] [--spec-depth N]
+//!            [--no-spec] [--trials N] [--seed N] [--threads N]
 //! repro profile [--all | <kernel>...] [--keys N] [--key-bytes N]
 //!               [--seed N] [--threads N] [--out FILE] [--trace-out FILE]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
@@ -32,9 +33,16 @@
 //! `repro lint` runs the static constant-time taint analyzer
 //! (`microsampler-ct`) over Table V primitives and the seeded-leaky
 //! fixtures; `--all` additionally cross-validates the static verdicts
-//! against the dynamic statistical audit. Exit codes: 0 = clean,
-//! 3 = violations found, 1 = `--baseline` verdict mismatch,
-//! 2 = usage error.
+//! against the dynamic statistical audit, both under the paper's MegaBoom
+//! configuration and under adversarial speculation (polarized predictor
+//! state plus spurious-squash fault plans) to check CT-SPEC findings
+//! end to end. `--spec-depth N` bounds the modeled transient window in
+//! instructions (default: the MegaBoom ROB size); `--no-spec` disables
+//! speculative taint entirely. `--update-baseline` atomically rewrites
+//! the `--baseline` file (default `lint-baseline.json`) with the current
+//! verdicts, sorted by kernel name. Exit codes: 0 = clean,
+//! 3 = architectural violations found, 4 = only transient (CT-SPEC)
+//! violations found, 1 = `--baseline` verdict mismatch, 2 = usage error.
 //!
 //! `repro profile` sweeps modexp kernels with the simulator's always-on
 //! pipeline counters and prints a riscv-perf-model-style utilization dump
@@ -295,9 +303,11 @@ fn parse_faults(spec: &str) -> Result<(Option<FaultConfig>, Option<usize>), Stri
 }
 
 /// `repro lint [--all | <kernel>...] [--static] [--sarif FILE]
-/// [--baseline FILE] [--trials N] [--seed N] [--threads N]`.
+/// [--baseline FILE] [--update-baseline] [--spec-depth N] [--no-spec]
+/// [--trials N] [--seed N] [--threads N]`.
 ///
-/// Exit codes: 0 = all analyzed kernels are clean, 3 = constant-time
+/// Exit codes: 0 = all analyzed kernels are clean, 3 = architectural
+/// constant-time violations were found, 4 = only transient (CT-SPEC)
 /// violations were found, 1 = verdicts diverge from `--baseline`,
 /// 2 = usage error.
 fn lint_main(args: &[String]) -> ExitCode {
@@ -307,6 +317,9 @@ fn lint_main(args: &[String]) -> ExitCode {
     let mut static_only = false;
     let mut sarif_path: Option<std::path::PathBuf> = None;
     let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut update_baseline = false;
+    let mut spec_depth: Option<usize> = None;
+    let mut no_spec = false;
     let mut i = 0;
     while i < args.len() {
         let take_num = |i: &mut usize| -> usize {
@@ -324,6 +337,9 @@ fn lint_main(args: &[String]) -> ExitCode {
             "--static" => static_only = true,
             "--sarif" => sarif_path = Some(take_path(&mut i, "--sarif")),
             "--baseline" => baseline_path = Some(take_path(&mut i, "--baseline")),
+            "--update-baseline" => update_baseline = true,
+            "--spec-depth" => spec_depth = Some(take_num(&mut i)),
+            "--no-spec" => no_spec = true,
             "--trials" => scale.primitive_trials = take_num(&mut i),
             "--seed" => scale.seed = take_num(&mut i) as u64,
             "--threads" => match take_num(&mut i) {
@@ -345,13 +361,23 @@ fn lint_main(args: &[String]) -> ExitCode {
     if scale.primitive_trials == 0 {
         fail("--trials must be at least 1");
     }
+    if no_spec && spec_depth.is_some() {
+        fail("--no-spec and --spec-depth are mutually exclusive");
+    }
+    let spec = if no_spec {
+        microsampler_ct::SpecModel::disabled()
+    } else {
+        spec_depth.map_or_else(microsampler_ct::SpecModel::default, |depth| {
+            microsampler_ct::SpecModel { depth }
+        })
+    };
     let results = if all {
-        lint::lint_static_all()
+        lint::lint_static_all_with(spec)
     } else {
         names
             .iter()
             .map(|n| {
-                lint::lint_one(n).unwrap_or_else(|| {
+                lint::lint_one_with(n, spec).unwrap_or_else(|| {
                     fail(&format!(
                         "unknown kernel `{n}` (expected a Table V primitive or a fixture; \
                          see `repro lint --all`)"
@@ -363,8 +389,16 @@ fn lint_main(args: &[String]) -> ExitCode {
     for r in &results {
         print!("{}", r.report);
     }
-    let leaky = results.iter().filter(|r| r.report.is_leaky()).count();
-    println!("linted {} kernels: {} clean, {} leaky", results.len(), results.len() - leaky, leaky);
+    let arch_leaky = results.iter().filter(|r| r.report.has_architectural_violations()).count();
+    let transient_only = results.iter().filter(|r| r.report.is_transient_only()).count();
+    let clean = results.len() - arch_leaky - transient_only;
+    println!(
+        "linted {} kernels: {} clean, {} leaky, {} leaky-transient",
+        results.len(),
+        clean,
+        arch_leaky,
+        transient_only
+    );
     if let Some(path) = &sarif_path {
         let pairs: Vec<(&microsampler_ct::StaticReport, u64)> =
             results.iter().map(|r| (&r.report, r.text_base)).collect();
@@ -381,6 +415,20 @@ fn lint_main(args: &[String]) -> ExitCode {
         let cross = lint::lint_crossval(&results, &scale);
         print!("{cross}");
     }
+    if update_baseline {
+        let path =
+            baseline_path.clone().unwrap_or_else(|| std::path::PathBuf::from("lint-baseline.json"));
+        match write_baseline(&path, &results) {
+            Ok(()) => {
+                println!("wrote {}", path.display());
+                return ExitCode::SUCCESS;
+            }
+            Err(msg) => {
+                diag_error!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if let Some(path) = &baseline_path {
         match check_baseline(path, &results) {
             Ok(()) => println!("verdicts match {}", path.display()),
@@ -390,8 +438,10 @@ fn lint_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    if leaky > 0 {
+    if arch_leaky > 0 {
         ExitCode::from(3)
+    } else if transient_only > 0 {
+        ExitCode::from(4)
     } else {
         ExitCode::SUCCESS
     }
@@ -533,6 +583,35 @@ fn check_baseline(path: &std::path::Path, results: &[lint::LintResult]) -> Resul
     }
 }
 
+/// Atomically rewrites the lint baseline: verdicts for every analyzed
+/// kernel, keyed and sorted by name, written to a temporary file in the
+/// same directory and renamed into place so a crash or concurrent reader
+/// never observes a half-written baseline.
+fn write_baseline(path: &std::path::Path, results: &[lint::LintResult]) -> Result<(), String> {
+    let mut sorted: Vec<&lint::LintResult> = results.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut verdicts = Value::object();
+    for r in sorted {
+        verdicts = verdicts.field(&r.name, r.report.verdict());
+    }
+    let doc = Value::object()
+        .field("schema", "microsampler-lint-baseline-v1")
+        .field("verdicts", verdicts.build())
+        .build();
+    let mut text = doc.render_pretty();
+    text.push('\n');
+    let tmp = path.with_file_name(format!(
+        "{}.tmp.{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("lint-baseline.json"),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        format!("cannot rename {} to {}: {e}", tmp.display(), path.display())
+    })
+}
+
 fn usage() {
     eprintln!(
         "usage: repro <experiment>... [--keys N] [--key-bytes N] [--reps N] [--trials N] \
@@ -541,7 +620,7 @@ fn usage() {
     );
     eprintln!(
         "       repro lint [--all | <kernel>...] [--static] [--sarif FILE] [--baseline FILE] \
-         [--trials N] [--seed N] [--threads N]"
+         [--update-baseline] [--spec-depth N] [--no-spec] [--trials N] [--seed N] [--threads N]"
     );
     eprintln!(
         "       repro profile [--all | <kernel>...] [--keys N] [--key-bytes N] [--seed N] \
@@ -570,12 +649,21 @@ fn usage() {
          MICROSAMPLER_THREADS env var, then all available cores"
     );
     eprintln!(
-        "lint statically checks kernels for constant-time violations; --all also \
-         cross-validates against the dynamic audit (skip with --static)"
+        "lint statically checks kernels for constant-time violations, including \
+         transient (CT-SPEC) leaks down mispredicted branch arms; --all also \
+         cross-validates against the dynamic audit (skip with --static), both \
+         under MegaBoom and under adversarial speculation"
     );
     eprintln!(
-        "lint exit codes: 0 = clean, 3 = violations found, 1 = --baseline verdict \
-         mismatch, 2 = usage error"
+        "lint --spec-depth N bounds the transient window in instructions (default: \
+         the MegaBoom ROB size); --no-spec disables speculative taint; \
+         --update-baseline atomically rewrites the --baseline file (default \
+         lint-baseline.json) with current verdicts, sorted by name"
+    );
+    eprintln!(
+        "lint exit codes: 0 = clean, 3 = architectural violations found, 4 = only \
+         transient (CT-SPEC) violations found, 1 = --baseline verdict mismatch, \
+         2 = usage error"
     );
     eprintln!(
         "profile sweeps modexp kernels with the pipeline profiler and writes the \

@@ -1,15 +1,17 @@
 //! The `repro lint` backend: static constant-time analysis over every
 //! Table V primitive and seeded-leaky fixture, plus cross-validation of
-//! the static verdicts against the dynamic statistical audit.
+//! the static verdicts against the dynamic statistical audit — including
+//! a speculative dimension that checks CT-SPEC findings against runs
+//! driven with adversarial predictor state and spurious-squash plans.
 
 use crate::Scale;
 use microsampler_core::{Analyzer, CrossReport, CrossRow, TraceConfig};
-use microsampler_ct::{analyze_program, LatencyModel, StaticReport};
+use microsampler_ct::{analyze_program_opts, AnalyzeOptions, SpecModel, StaticReport};
 use microsampler_isa::asm::assemble;
 use microsampler_kernels::fixtures;
 use microsampler_kernels::openssl::Primitive;
 use microsampler_obs::diag;
-use microsampler_sim::CoreConfig;
+use microsampler_sim::{CoreConfig, FaultConfig};
 
 /// One linted kernel: the static report plus the text base needed to map
 /// violation PCs back to instruction lines in SARIF output.
@@ -24,54 +26,98 @@ pub struct LintResult {
 }
 
 /// Every name `repro lint <name>` accepts: the 27 Table V primitives
-/// followed by the seeded-leaky fixtures.
+/// followed by the seeded-leaky fixtures. (The CI gate self-test fixture
+/// resolves by name but is deliberately not a default target.)
 pub fn lint_targets() -> Vec<&'static str> {
     Primitive::all().iter().map(|p| p.name).chain(fixtures::all().iter().map(|f| f.name)).collect()
 }
 
-fn lint_primitive(p: &Primitive) -> LintResult {
+fn lint_primitive(p: &Primitive, spec: SpecModel) -> LintResult {
     let program = assemble(&p.source()).unwrap_or_else(|e| panic!("{}: {e}", p.name));
-    let report = analyze_program(p.name, &program, &p.secret_spec(), LatencyModel::default());
+    let opts = AnalyzeOptions { spec, ..Default::default() };
+    let report = analyze_program_opts(p.name, &program, &p.secret_spec(), &opts);
     LintResult { name: p.name.to_owned(), report, text_base: program.text_base }
 }
 
-fn lint_fixture(f: &fixtures::LeakyFixture) -> LintResult {
+fn lint_fixture(f: &fixtures::LeakyFixture, spec: SpecModel) -> LintResult {
     let program = assemble(f.source).unwrap_or_else(|e| panic!("{}: {e}", f.name));
-    let report = analyze_program(f.name, &program, &f.spec, LatencyModel::default());
+    let opts = AnalyzeOptions { spec, ..Default::default() };
+    let report = analyze_program_opts(f.name, &program, &f.spec, &opts);
     LintResult { name: f.name.to_owned(), report, text_base: program.text_base }
 }
 
-/// Statically analyzes one kernel by name (primitive or fixture).
+/// Statically analyzes one kernel by name (primitive or fixture,
+/// including the gate self-test fixture) under the default speculation
+/// model.
 pub fn lint_one(name: &str) -> Option<LintResult> {
+    lint_one_with(name, SpecModel::default())
+}
+
+/// [`lint_one`] with an explicit speculation model (`--spec-depth` /
+/// `--no-spec`).
+pub fn lint_one_with(name: &str, spec: SpecModel) -> Option<LintResult> {
     if let Some(p) = Primitive::all().iter().find(|p| p.name == name) {
-        return Some(lint_primitive(p));
+        return Some(lint_primitive(p, spec));
     }
-    fixtures::all().iter().find(|f| f.name == name).map(lint_fixture)
+    fixtures::by_name(name).map(|f| lint_fixture(&f, spec))
 }
 
 /// Statically analyzes every primitive and fixture, in [`lint_targets`]
-/// order.
+/// order, under the default speculation model.
 pub fn lint_static_all() -> Vec<LintResult> {
+    lint_static_all_with(SpecModel::default())
+}
+
+/// [`lint_static_all`] with an explicit speculation model.
+pub fn lint_static_all_with(spec: SpecModel) -> Vec<LintResult> {
     let primitives = Primitive::all();
     let fixture_list = fixtures::all();
-    let mut out: Vec<LintResult> = primitives.iter().map(lint_primitive).collect();
-    out.extend(fixture_list.iter().map(lint_fixture));
+    let mut out: Vec<LintResult> = primitives.iter().map(|p| lint_primitive(p, spec)).collect();
+    out.extend(fixture_list.iter().map(|f| lint_fixture(f, spec)));
     out
 }
 
+/// The adversarial-speculation configuration the speculative crossval
+/// dimension drives the core with: a strongly polarized gshare initial
+/// state (maximizes guard mispredictions, and therefore wrong-path
+/// windows) plus a spurious-squash fault plan (architecturally invisible
+/// squash/replay noise the agreement must survive).
+fn adversarial_config(seed: u64) -> CoreConfig {
+    CoreConfig::mega_boom().with_adversarial_bpred(seed ^ 0xada5_7a7e).with_faults(FaultConfig {
+        seed,
+        squash_per_64k: 256,
+        ..FaultConfig::default()
+    })
+}
+
 /// Cross-validates the static verdicts against the dynamic audit over
-/// the 27 Table V primitives (the fixtures are static-only: they exist to
-/// pin the analyzer's behavior, not to model real code).
+/// the 27 Table V primitives and the seeded-leaky fixtures.
 ///
-/// Reuses Table V's escalation protocol so the dynamic verdicts here
-/// match `repro table5` at the same scale. Primitives fan out across the
-/// worker pool; rows come back in table order.
+/// Every kernel gets two dynamic audits: one under the paper's MegaBoom
+/// configuration (the architectural dimension, reusing Table V's
+/// escalation protocol so verdicts match `repro table5` at the same
+/// scale) and one under an adversarial configuration — polarized gshare
+/// initial state plus a spurious-squash fault plan (the speculative
+/// dimension, cross-checked against static CT-SPEC findings). Kernels
+/// fan out across the worker pool; rows come back in table order.
 pub fn lint_crossval(statics: &[LintResult], scale: &Scale) -> CrossReport {
     let analyzer = Analyzer::new();
     let primitives = Primitive::all();
-    let total = primitives.len();
+    let fixture_list = fixtures::all();
+    let total = primitives.len() + fixture_list.len();
     let done = std::sync::atomic::AtomicUsize::new(0);
-    let rows = microsampler_par::map(&primitives, |_, prim| {
+    let static_for = |name: &str| -> &StaticReport {
+        statics
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| &r.report)
+            .unwrap_or_else(|| panic!("no static report for {name}"))
+    };
+    let tick = || {
+        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        diag::progress("lint-crossval", finished, total);
+    };
+    let mut rows = microsampler_par::map(&primitives, |_, prim| {
         let first = prim
             .run(
                 CoreConfig::mega_boom(),
@@ -91,15 +137,58 @@ pub fn lint_crossval(statics: &[LintResult], scale: &Scale) -> CrossReport {
             .result
             .iterations
         });
-        let static_leaky = statics
-            .iter()
-            .find(|r| r.name == prim.name)
-            .map(|r| r.report.is_leaky())
-            .unwrap_or_else(|| panic!("no static report for {}", prim.name));
-        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        diag::progress("lint-crossval", finished, total);
-        CrossRow::new(prim.name, static_leaky, &outcome.report)
+        let adv = prim
+            .run(
+                adversarial_config(scale.seed),
+                scale.primitive_trials,
+                scale.seed,
+                TraceConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", prim.name));
+        let adv_outcome = analyzer.analyze_with_escalation(adv.result.iterations, 2, |round| {
+            prim.run(
+                adversarial_config(scale.seed + round as u64),
+                scale.primitive_trials * 2,
+                scale.seed + round as u64 * 7919,
+                TraceConfig::default(),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", prim.name))
+            .result
+            .iterations
+        });
+        let stat = static_for(prim.name);
+        tick();
+        CrossRow::new(prim.name, stat.has_architectural_violations(), &outcome.report)
+            .with_spec(stat.has_transient_violations(), &adv_outcome.report)
     });
+    rows.extend(microsampler_par::map(&fixture_list, |_, f| {
+        let run = |config: CoreConfig, trials: u64, seed: u64| {
+            fixtures::run_fixture(f, config, trials, seed, TraceConfig::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name))
+                .iterations
+        };
+        let trials = scale.primitive_trials as u64;
+        let arch = analyzer.analyze_with_escalation(
+            run(CoreConfig::mega_boom(), trials, scale.seed),
+            2,
+            |round| run(CoreConfig::mega_boom(), trials * 2, scale.seed + round as u64 * 7919),
+        );
+        let adv = analyzer.analyze_with_escalation(
+            run(adversarial_config(scale.seed), trials, scale.seed),
+            2,
+            |round| {
+                run(
+                    adversarial_config(scale.seed + round as u64),
+                    trials * 2,
+                    scale.seed + round as u64 * 7919,
+                )
+            },
+        );
+        let stat = static_for(f.name);
+        tick();
+        CrossRow::new(f.name, stat.has_architectural_violations(), &arch.report)
+            .with_spec(stat.has_transient_violations(), &adv.report)
+    }));
     CrossReport { rows }
 }
 
@@ -112,11 +201,23 @@ mod tests {
         let targets = lint_targets();
         assert_eq!(targets.len(), Primitive::all().len() + fixtures::all().len());
         assert!(targets.contains(&"leaky_branchy_memcmp"));
+        assert!(targets.contains(&"leaky_spectre_bounds"));
+        assert!(!targets.contains(&"gate_selftest_unbaselined"));
     }
 
     #[test]
     fn lint_one_resolves_both_namespaces() {
         assert!(!lint_one("leaky_sbox_index").unwrap().report.violations.is_empty());
         assert!(lint_one("no-such-kernel").is_none());
+        // The gate self-test fixture resolves by name for the CI gate.
+        assert!(lint_one("gate_selftest_unbaselined").unwrap().report.is_leaky());
+    }
+
+    #[test]
+    fn spec_model_gates_the_transient_verdict() {
+        let on = lint_one("leaky_spectre_bounds").unwrap();
+        assert_eq!(on.report.verdict(), "leaky-transient");
+        let off = lint_one_with("leaky_spectre_bounds", SpecModel::disabled()).unwrap();
+        assert_eq!(off.report.verdict(), "clean");
     }
 }

@@ -88,6 +88,89 @@ pub fn classify(static_leaky: bool, dynamic: &AnalysisReport) -> CrossVerdict {
     }
 }
 
+/// Agreement classification along the *speculative* dimension: the static
+/// CT-SPEC verdict against a dynamic audit run under adversarial
+/// speculation (polarized predictor initial state and/or spurious-squash
+/// fault plans) that maximizes wrong-path execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecVerdict {
+    /// Static flagged CT-SPEC and the adversarial run leaked: the
+    /// transient channel is real on this core.
+    Confirmed,
+    /// Static flagged CT-SPEC but no adversarial run expressed it — the
+    /// window the taint analysis assumes (every branch mispredictable for
+    /// a full ROB) is wider than what this core's predictor reached.
+    NotExpressed,
+    /// The adversarial run leaked a kernel that is statically clean even
+    /// speculatively: an emergent transient channel outside the model.
+    TransientDynamicOnly,
+    /// No CT-SPEC finding and the adversarial run stayed clean.
+    CleanBoth,
+    /// The adversarial audit wants more samples: no verdict to compare.
+    Inconclusive,
+}
+
+impl SpecVerdict {
+    /// Stable label used in the report table and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecVerdict::Confirmed => "spec-confirmed",
+            SpecVerdict::NotExpressed => "spec-not-expressed",
+            SpecVerdict::TransientDynamicOnly => "spec-dynamic-only",
+            SpecVerdict::CleanBoth => "spec-clean",
+            SpecVerdict::Inconclusive => "spec-inconclusive",
+        }
+    }
+
+    /// Why this combination is expected, not a detector bug.
+    pub fn explanation(self) -> &'static str {
+        match self {
+            SpecVerdict::Confirmed => {
+                "static CT-SPEC and adversarial-speculation run leaky: transient channel \
+                 confirmed end to end"
+            }
+            SpecVerdict::NotExpressed => {
+                "static CT-SPEC, adversarial run clean: the modeled window over-approximates \
+                 what this predictor state reached"
+            }
+            SpecVerdict::TransientDynamicOnly => {
+                "adversarial run leaky, static speculatively clean: emergent transient \
+                 channel outside the taint model"
+            }
+            SpecVerdict::CleanBoth => "no CT-SPEC finding and adversarial run clean",
+            SpecVerdict::Inconclusive => {
+                "adversarial audit needs more samples: no verdict to cross-check"
+            }
+        }
+    }
+
+    /// True when the static and adversarial-dynamic verdicts disagree.
+    pub fn is_disagreement(self) -> bool {
+        matches!(self, SpecVerdict::NotExpressed | SpecVerdict::TransientDynamicOnly)
+    }
+}
+
+/// Classifies one kernel along the speculative dimension.
+///
+/// `static_transient` is "the static pass reported at least one CT-SPEC
+/// violation"; `adversarial` is the dynamic audit of a run under
+/// adversarial speculation.
+pub fn classify_spec(static_transient: bool, adversarial: &AnalysisReport) -> SpecVerdict {
+    if adversarial.is_leaky() {
+        if static_transient {
+            SpecVerdict::Confirmed
+        } else {
+            SpecVerdict::TransientDynamicOnly
+        }
+    } else if adversarial.needs_more_samples() {
+        SpecVerdict::Inconclusive
+    } else if static_transient {
+        SpecVerdict::NotExpressed
+    } else {
+        SpecVerdict::CleanBoth
+    }
+}
+
 /// One row of the cross-validation table.
 #[derive(Clone, Debug)]
 pub struct CrossRow {
@@ -101,38 +184,83 @@ pub struct CrossRow {
     pub max_cramers_v: f64,
     /// Agreement classification.
     pub verdict: CrossVerdict,
+    /// Static speculative verdict ("transient"/"clean"), set once the
+    /// speculative dimension has been cross-checked.
+    pub spec_static: Option<&'static str>,
+    /// Dynamic verdict of the adversarial-speculation run.
+    pub spec_dynamic: Option<&'static str>,
+    /// Strongest per-unit Cramér's V under adversarial speculation.
+    pub spec_max_cramers_v: f64,
+    /// Speculative agreement classification, when cross-checked.
+    pub spec_verdict: Option<SpecVerdict>,
+}
+
+fn dynamic_label(dynamic: &AnalysisReport) -> &'static str {
+    if dynamic.is_leaky() {
+        "leaky"
+    } else if dynamic.needs_more_samples() {
+        "needs-more-samples"
+    } else {
+        "clean"
+    }
 }
 
 impl CrossRow {
-    /// Builds a row from the two reports.
+    /// Builds a row from the two reports. `static_leaky` is the
+    /// *architectural* static verdict — transient-only (CT-SPEC) findings
+    /// belong to the speculative dimension, attached via
+    /// [`CrossRow::with_spec`].
     pub fn new(name: &str, static_leaky: bool, dynamic: &AnalysisReport) -> CrossRow {
-        let dynamic_verdict = if dynamic.is_leaky() {
-            "leaky"
-        } else if dynamic.needs_more_samples() {
-            "needs-more-samples"
-        } else {
-            "clean"
-        };
         CrossRow {
             name: name.to_string(),
             static_verdict: if static_leaky { "leaky" } else { "clean" },
-            dynamic_verdict,
+            dynamic_verdict: dynamic_label(dynamic),
             max_cramers_v: dynamic.units.iter().map(|u| u.assoc.cramers_v).fold(0.0, f64::max),
             verdict: classify(static_leaky, dynamic),
+            spec_static: None,
+            spec_dynamic: None,
+            spec_max_cramers_v: 0.0,
+            spec_verdict: None,
         }
     }
 
+    /// Attaches the speculative dimension: the static CT-SPEC verdict
+    /// cross-checked against an adversarial-speculation dynamic run.
+    pub fn with_spec(mut self, static_transient: bool, adversarial: &AnalysisReport) -> CrossRow {
+        self.spec_static = Some(if static_transient { "transient" } else { "clean" });
+        self.spec_dynamic = Some(dynamic_label(adversarial));
+        self.spec_max_cramers_v =
+            adversarial.units.iter().map(|u| u.assoc.cramers_v).fold(0.0, f64::max);
+        self.spec_verdict = Some(classify_spec(static_transient, adversarial));
+        self
+    }
+
     /// JSON rendering (stable keys: `name`, `static`, `dynamic`,
-    /// `max_cramers_v`, `verdict`, `explanation`).
+    /// `max_cramers_v`, `verdict`, `explanation`, plus a `spec` object
+    /// when the speculative dimension was cross-checked).
     pub fn to_json(&self) -> Value {
-        Value::object()
+        let mut obj = Value::object()
             .field("name", self.name.as_str())
             .field("static", self.static_verdict)
             .field("dynamic", self.dynamic_verdict)
             .field("max_cramers_v", self.max_cramers_v)
             .field("verdict", self.verdict.label())
-            .field("explanation", self.verdict.explanation())
-            .build()
+            .field("explanation", self.verdict.explanation());
+        if let (Some(ss), Some(sd), Some(sv)) =
+            (self.spec_static, self.spec_dynamic, self.spec_verdict)
+        {
+            obj = obj.field(
+                "spec",
+                Value::object()
+                    .field("static", ss)
+                    .field("dynamic", sd)
+                    .field("max_cramers_v", self.spec_max_cramers_v)
+                    .field("verdict", sv.label())
+                    .field("explanation", sv.explanation())
+                    .build(),
+            );
+        }
+        obj.build()
     }
 }
 
@@ -150,12 +278,27 @@ impl CrossReport {
         self.rows.iter().filter(|r| r.verdict.is_disagreement())
     }
 
-    /// JSON rendering (schema `microsampler-crossval-v1`).
+    /// Rows where the speculative dimension disagrees.
+    pub fn spec_disagreements(&self) -> impl Iterator<Item = &CrossRow> {
+        self.rows.iter().filter(|r| r.spec_verdict.is_some_and(SpecVerdict::is_disagreement))
+    }
+
+    /// Rows where a static CT-SPEC finding was confirmed dynamically
+    /// under adversarial speculation — the end-to-end transient evidence
+    /// the run report records.
+    pub fn spec_confirmed(&self) -> impl Iterator<Item = &CrossRow> {
+        self.rows.iter().filter(|r| r.spec_verdict == Some(SpecVerdict::Confirmed))
+    }
+
+    /// JSON rendering (schema `microsampler-crossval-v2`; v1 plus the
+    /// per-row `spec` object and top-level speculative counters).
     pub fn to_json(&self) -> Value {
         Value::object()
-            .field("schema", "microsampler-crossval-v1")
+            .field("schema", "microsampler-crossval-v2")
             .field("rows", Value::Array(self.rows.iter().map(CrossRow::to_json).collect()))
             .field("disagreements", self.disagreements().count() as u64)
+            .field("spec_disagreements", self.spec_disagreements().count() as u64)
+            .field("spec_confirmed", self.spec_confirmed().count() as u64)
             .build()
     }
 }
@@ -176,6 +319,28 @@ impl fmt::Display for CrossReport {
         }
         for r in self.disagreements() {
             writeln!(f, "  {}: {}", r.name, r.verdict.explanation())?;
+        }
+        if self.rows.iter().any(|r| r.spec_verdict.is_some()) {
+            writeln!(f, "speculative dimension (adversarial predictor state):")?;
+            writeln!(
+                f,
+                "{:<30} {:>9} {:>19} {:>8}  verdict",
+                "kernel", "static", "adversarial", "max V"
+            )?;
+            for r in self.rows.iter().filter(|r| r.spec_verdict.is_some()) {
+                writeln!(
+                    f,
+                    "{:<30} {:>9} {:>19} {:>8.3}  {}",
+                    r.name,
+                    r.spec_static.unwrap_or("-"),
+                    r.spec_dynamic.unwrap_or("-"),
+                    r.spec_max_cramers_v,
+                    r.spec_verdict.map_or("-", SpecVerdict::label)
+                )?;
+            }
+            for r in self.spec_disagreements() {
+                writeln!(f, "  {}: {}", r.name, r.spec_verdict.unwrap().explanation())?;
+            }
         }
         Ok(())
     }
@@ -218,6 +383,62 @@ mod tests {
         let unsure = dynamic_with(0.9, 0.5);
         assert_eq!(classify(false, &unsure), CrossVerdict::Inconclusive);
         assert_eq!(classify(true, &unsure), CrossVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn spec_quadrants_classify() {
+        let leaky = dynamic_with(0.9, 0.001);
+        let clean = dynamic_with(0.05, 0.8);
+        let unsure = dynamic_with(0.9, 0.5);
+        assert_eq!(classify_spec(true, &leaky), SpecVerdict::Confirmed);
+        assert_eq!(classify_spec(false, &leaky), SpecVerdict::TransientDynamicOnly);
+        assert_eq!(classify_spec(true, &clean), SpecVerdict::NotExpressed);
+        assert_eq!(classify_spec(false, &clean), SpecVerdict::CleanBoth);
+        assert_eq!(classify_spec(true, &unsure), SpecVerdict::Inconclusive);
+        assert_eq!(classify_spec(false, &unsure), SpecVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn with_spec_attaches_the_dimension_and_json_carries_it() {
+        // A Spectre gadget: architecturally clean both ways, transient
+        // statically, leaky under adversarial speculation → Confirmed.
+        let row = CrossRow::new("spectre", false, &dynamic_with(0.05, 0.8))
+            .with_spec(true, &dynamic_with(0.9, 0.001));
+        assert_eq!(row.verdict, CrossVerdict::TrueCt);
+        assert_eq!(row.spec_verdict, Some(SpecVerdict::Confirmed));
+        assert_eq!(row.spec_static, Some("transient"));
+        assert_eq!(row.spec_dynamic, Some("leaky"));
+        assert!(row.spec_max_cramers_v > 0.8);
+        let json = row.to_json();
+        let spec = json.get("spec").unwrap();
+        assert_eq!(spec.get("verdict").and_then(Value::as_str), Some("spec-confirmed"));
+        // A row without the dimension omits the object entirely.
+        let bare = CrossRow::new("plain", false, &dynamic_with(0.05, 0.8));
+        assert!(bare.to_json().get("spec").is_none());
+    }
+
+    #[test]
+    fn report_counts_spec_confirmations_and_renders_the_section() {
+        let report = CrossReport {
+            rows: vec![
+                CrossRow::new("spectre", false, &dynamic_with(0.05, 0.8))
+                    .with_spec(true, &dynamic_with(0.9, 0.001)),
+                CrossRow::new("honest", false, &dynamic_with(0.05, 0.8))
+                    .with_spec(false, &dynamic_with(0.05, 0.8)),
+                CrossRow::new("wide-window", false, &dynamic_with(0.05, 0.8))
+                    .with_spec(true, &dynamic_with(0.05, 0.8)),
+            ],
+        };
+        assert_eq!(report.spec_confirmed().count(), 1);
+        assert_eq!(report.spec_disagreements().count(), 1);
+        let json = report.to_json();
+        assert_eq!(json.get("schema").and_then(Value::as_str), Some("microsampler-crossval-v2"));
+        assert_eq!(json.get("spec_confirmed").and_then(Value::as_u64), Some(1));
+        assert_eq!(json.get("spec_disagreements").and_then(Value::as_u64), Some(1));
+        let text = report.to_string();
+        assert!(text.contains("speculative dimension"));
+        assert!(text.contains("spec-confirmed"));
+        assert!(text.contains("over-approximates"));
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod features;
 mod report;
 
 pub use analyzer::{analyze, Analyzer, EscalationOutcome};
-pub use crossval::{classify, CrossReport, CrossRow, CrossVerdict};
+pub use crossval::{classify, classify_spec, CrossReport, CrossRow, CrossVerdict, SpecVerdict};
 pub use features::{
     feature_ordering, feature_uniqueness, map_features, OrderMismatch, OrderingReport,
     UniquenessReport,

@@ -2,24 +2,56 @@
 //!
 //! Block-entry states are joined from all predecessors and re-propagated
 //! until nothing changes (the lattice has finite height: `Const` can only
-//! rise to `Public`/`Secret`, and secret witness ids only fall). A final
-//! recording pass re-runs the transfer function from the stabilized entry
-//! states and collects violation events at in-region instructions.
+//! rise to `Public`/`Secret`, and secret witness ids only fall). The
+//! fixpoint deliberately follows *every* CFG edge — including
+//! architecturally-dead branch arms — because wrong-path execution runs
+//! exactly that code.
+//!
+//! Reporting is then two-tier. From the stabilized states, branches whose
+//! operands are `Const` have a known direction; cutting their dead arms
+//! yields the *architectural* iteration region, where violations report
+//! under their own class (CT-BRANCH/CT-ADDR/CT-LATENCY). Sites outside
+//! that region but inside a bounded speculation window from an in-region
+//! branch ([`crate::spec`]) report as CT-SPEC: a transmitter that only a
+//! misprediction can execute. Evaluating directions *after* the fixpoint
+//! is sound: a stabilized `Const` holds on every path, so the pruned arm
+//! is genuinely unreachable architecturally.
 
 use crate::cfg::Cfg;
-use crate::report::{StaticReport, Violation, ViolationClass};
-use crate::taint::{Ctx, LatencyModel, State, Witness, WitnessKind};
+use crate::report::{StaticReport, TransientOrigin, Violation, ViolationClass};
+use crate::spec::{spec_cover, SpecModel, SpecOrigin};
+use crate::taint::{branch_direction, Ctx, LatencyModel, State, Witness, WitnessKind};
 use microsampler_isa::asm::{assemble, AsmError};
-use microsampler_isa::{disassemble, Program, Reg};
+use microsampler_isa::{disassemble, Inst, Program, Reg};
 use microsampler_kernels::secrets::SecretSpec;
 use std::collections::HashMap;
 
-/// Runs the static constant-time analysis on an assembled program.
+/// Tuning knobs for one analysis run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalyzeOptions {
+    /// Which mul/div latencies are operand-dependent (class 3).
+    pub latency: LatencyModel,
+    /// Speculation window bound for CT-SPEC (class 4).
+    pub spec: SpecModel,
+}
+
+/// Runs the static constant-time analysis with the default speculation
+/// model (window bound = MegaBoom ROB size).
 pub fn analyze_program(
     name: &str,
     program: &Program,
     spec: &SecretSpec,
     latency: LatencyModel,
+) -> StaticReport {
+    analyze_program_opts(name, program, spec, &AnalyzeOptions { latency, ..Default::default() })
+}
+
+/// Runs the static constant-time analysis with explicit options.
+pub fn analyze_program_opts(
+    name: &str,
+    program: &Program,
+    spec: &SecretSpec,
+    opts: &AnalyzeOptions,
 ) -> StaticReport {
     let cfg = Cfg::build(program);
     let mut witnesses: Vec<Witness> = Vec::new();
@@ -40,7 +72,7 @@ pub fn analyze_program(
 
     let mut ctx = Ctx {
         data_base: program.data_base,
-        latency,
+        latency: opts.latency,
         csr_input_secret: spec.csr_input_secret,
         witnesses: &mut witnesses,
         source_ids: &mut source_ids,
@@ -74,8 +106,45 @@ pub fn analyze_program(
         }
     }
 
+    // Direction pass: replay each reached block from its stabilized entry
+    // and record the outcome of every `Const`-conditioned branch.
+    let n = cfg.sites.len();
+    let mut branch_dir: Vec<Option<bool>> = vec![None; n];
+    for (b, entry) in entry_states.iter().enumerate() {
+        let Some(entry) = entry else { continue };
+        let mut state = entry.clone();
+        let span = cfg.blocks[b].start..cfg.blocks[b].end;
+        for (dir, site) in branch_dir[span.clone()].iter_mut().zip(&cfg.sites[span]) {
+            *dir = branch_direction(&site.inst, &state);
+            crate::taint::transfer(&site.inst, site.pc, &mut state, &mut ctx);
+        }
+    }
+
+    // Architectural region: the iteration window following only feasible
+    // edges — a known-direction branch contributes its live arm alone.
+    let arch_region = cfg.region_via(|i, t| match branch_dir[i] {
+        Some(dir) => {
+            let site = &cfg.sites[i];
+            let taken = match site.inst {
+                Inst::Branch { offset, .. } => cfg.index_of(site.pc.wrapping_add(offset as u64)),
+                _ => None,
+            };
+            if dir {
+                Some(t) == taken
+            } else {
+                t == i + 1
+            }
+        }
+        None => true,
+    });
+
+    // Speculative cover: transient windows from every in-region branch.
+    let cover = spec_cover(&cfg, &arch_region, opts.spec);
+
     // Recording pass: replay each reached block once from its stabilized
-    // entry state; report events only at in-region sites.
+    // entry state. Events at architecturally-reachable in-region sites
+    // report under their own class; events at transient-only covered
+    // sites report as CT-SPEC, naming the window-opening branch.
     let mut violations: Vec<Violation> = Vec::new();
     for (b, entry) in entry_states.iter().enumerate() {
         let Some(entry) = entry else { continue };
@@ -85,27 +154,55 @@ pub fn analyze_program(
         for i in cfg.blocks[b].start..cfg.blocks[b].end {
             let site = cfg.sites[i];
             let events = crate::taint::transfer(&site.inst, site.pc, &mut state, &mut ctx);
-            if cfg.in_region[i] {
-                for ev in events {
-                    let class = ViolationClass::from_code(ev.class);
-                    if violations.iter().any(|v| v.pc == site.pc && v.class == class) {
-                        continue;
+            let transient: Option<SpecOrigin> = match (arch_region[i], cover[i]) {
+                (true, _) => None,
+                (false, Some(origin)) => Some(origin),
+                (false, None) => {
+                    // Neither architecturally nor transiently reachable
+                    // inside the window: nothing to report here.
+                    if let Some(rd) = site.inst.rd() {
+                        def_site[rd.index()] = Some(i);
                     }
-                    let witness = witness_chain(
-                        &cfg,
-                        &def_site,
-                        ev.reg,
-                        ctx.witnesses.get(ev.witness as usize),
-                        site.pc,
-                    );
-                    violations.push(Violation {
-                        pc: site.pc,
-                        class,
-                        severity: class.severity(),
-                        disasm: disassemble(&site.inst),
-                        witness,
-                    });
+                    continue;
                 }
+            };
+            for ev in events {
+                let class = match transient {
+                    Some(_) => ViolationClass::TransientLeak,
+                    None => ViolationClass::from_code(ev.class),
+                };
+                if violations.iter().any(|v| v.pc == site.pc && v.class == class) {
+                    continue;
+                }
+                let mut witness = witness_chain(
+                    &cfg,
+                    &def_site,
+                    ev.reg,
+                    ctx.witnesses.get(ev.witness as usize),
+                    site.pc,
+                    transient.is_some(),
+                );
+                let origin = transient.map(|o| {
+                    let bsite = &cfg.sites[o.branch_idx];
+                    let branch_disasm = disassemble(&bsite.inst);
+                    witness.insert(
+                        0,
+                        format!(
+                            "transient window opened by mispredicted branch at {:#x}: {} \
+                             ({} wrong-path instructions to the transmitter)",
+                            bsite.pc, branch_disasm, o.depth
+                        ),
+                    );
+                    TransientOrigin { branch_pc: bsite.pc, branch_disasm, depth: o.depth }
+                });
+                violations.push(Violation {
+                    pc: site.pc,
+                    class,
+                    severity: class.severity(),
+                    disasm: disassemble(&site.inst),
+                    witness,
+                    transient: origin,
+                });
             }
             if let Some(rd) = site.inst.rd() {
                 def_site[rd.index()] = Some(i);
@@ -124,7 +221,8 @@ pub fn analyze_program(
     }
 }
 
-/// Convenience wrapper: assemble then analyze.
+/// Convenience wrapper: assemble then analyze (default speculation
+/// model).
 ///
 /// # Errors
 ///
@@ -138,6 +236,20 @@ pub fn analyze_source(
     Ok(analyze_program(name, &assemble(source)?, spec, latency))
 }
 
+/// Convenience wrapper: assemble then analyze with explicit options.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn analyze_source_opts(
+    name: &str,
+    source: &str,
+    spec: &SecretSpec,
+    opts: &AnalyzeOptions,
+) -> Result<StaticReport, AsmError> {
+    Ok(analyze_program_opts(name, &assemble(source)?, spec, opts))
+}
+
 /// Builds the human-readable taint chain for one violation: the source
 /// event, the block-local definition of the offending register (when it
 /// exists and differs from the source), and the violating instruction.
@@ -147,6 +259,7 @@ fn witness_chain(
     reg: Reg,
     witness: Option<&Witness>,
     violation_pc: u64,
+    transient: bool,
 ) -> Vec<String> {
     let mut chain = Vec::new();
     if let Some(w) = witness {
@@ -173,7 +286,8 @@ fn witness_chain(
             ));
         }
     }
-    chain.push(format!("violation at {violation_pc:#x}: {}", disasm_at(cfg, violation_pc)));
+    let role = if transient { "transient transmitter" } else { "violation" };
+    chain.push(format!("{role} at {violation_pc:#x}: {}", disasm_at(cfg, violation_pc)));
     chain
 }
 

@@ -49,6 +49,10 @@ pub struct Cfg {
     pub in_region: Vec<bool>,
     /// Block index containing each instruction.
     pub block_of: Vec<usize>,
+    /// Per-instruction successor indices (both branch arms, jump targets,
+    /// static return pairings) — the edge set the speculation-window
+    /// search and the feasible-path region recomputation walk.
+    pub succs: Vec<Vec<usize>>,
     /// Undecodable words or indirect jumps the CFG had to truncate at.
     pub warnings: Vec<String>,
 }
@@ -197,7 +201,31 @@ impl Cfg {
             work.extend(succs[i].iter().copied());
         }
 
-        Cfg { sites, blocks, in_region, block_of, warnings }
+        Cfg { sites, blocks, in_region, block_of, succs, warnings }
+    }
+
+    /// Recomputes the iteration region following only the edges
+    /// `feasible` accepts. `in_region` follows every edge; once branch
+    /// directions are known from the stabilized fixpoint states, cutting
+    /// the architecturally-dead arms yields the *architectural* region,
+    /// and the difference against the speculative window marks
+    /// transient-only sites.
+    pub fn region_via(&self, feasible: impl Fn(usize, usize) -> bool) -> Vec<bool> {
+        let mut in_region = vec![false; self.sites.len()];
+        let mut work: Vec<usize> = Vec::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            if is_iter_start(&s.inst) {
+                work.extend(self.succs[i].iter().copied().filter(|&t| feasible(i, t)));
+            }
+        }
+        while let Some(i) = work.pop() {
+            if in_region[i] || is_iter_end(&self.sites[i].inst) {
+                continue;
+            }
+            in_region[i] = true;
+            work.extend(self.succs[i].iter().copied().filter(|&t| feasible(i, t)));
+        }
+        in_region
     }
 
     /// Instruction index for a text address.

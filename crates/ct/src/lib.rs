@@ -5,14 +5,18 @@
 //! the same [`microsampler_isa`] programs the simulator executes. It
 //! decodes the text section into a CFG ([`mod@cfg`]), runs a forward abstract
 //! interpretation to a fixpoint over a constant-propagation + secret-taint
-//! lattice ([`taint`]), and reports three violation classes mirroring the
+//! lattice ([`taint`]), and reports four violation classes mirroring the
 //! paper's leakage channels ([`report`]):
 //!
 //! 1. **CT-BRANCH** — secret-tainted branch condition,
 //! 2. **CT-ADDR** — secret-tainted load/store effective address,
 //! 3. **CT-LATENCY** — secret operand to a variable-latency mul/div
 //!    (`is_div` always; `mul` under an early-out multiplier,
-//!    [`LatencyModel`]).
+//!    [`LatencyModel`]),
+//! 4. **CT-SPEC** — a transmitter of any of the above reachable *only*
+//!    down the mispredicted arm of a conditional branch, within a bounded
+//!    speculation window ([`SpecModel`]) — the Spectre-v1 pattern.
+//!    `fence` and CSR accesses act as speculation barriers ([`spec`]).
 //!
 //! Taint sources come from the kernel's
 //! [`microsampler_kernels::secrets::SecretSpec`]; findings are scoped to
@@ -45,9 +49,15 @@
 pub mod analyze;
 pub mod cfg;
 pub mod report;
+pub mod spec;
 pub mod taint;
 
-pub use analyze::{analyze_program, analyze_source};
+pub use analyze::{
+    analyze_program, analyze_program_opts, analyze_source, analyze_source_opts, AnalyzeOptions,
+};
 pub use cfg::Cfg;
-pub use report::{sarif_document, sarif_rules, Severity, StaticReport, Violation, ViolationClass};
+pub use report::{
+    sarif_document, sarif_rules, Severity, StaticReport, TransientOrigin, Violation, ViolationClass,
+};
+pub use spec::{SpecModel, SpecOrigin};
 pub use taint::{AbsVal, LatencyModel};

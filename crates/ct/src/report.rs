@@ -6,7 +6,8 @@ use microsampler_obs::json::Value;
 use microsampler_obs::sarif;
 use std::fmt;
 
-/// The paper's three statically-checkable leakage channels.
+/// The statically-checkable leakage channels: the paper's three
+/// architectural classes plus the speculative (transient-only) class.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ViolationClass {
     /// Class 1: a conditional branch compares secret-tainted data —
@@ -19,15 +20,31 @@ pub enum ViolationClass {
     /// Class 3: a secret operand reaches a variable-latency multiply or
     /// divide — completion time and unit occupancy key on the secret.
     VariableLatency,
+    /// Class 4: a secret-dependent transmitter (tainted branch, address,
+    /// or latency operand) reachable *only* down the mispredicted arm of
+    /// a conditional branch, within the speculation window — the
+    /// Spectre-v1 pattern. The instruction never commits, but its cache,
+    /// LDQ, and predictor side effects key on the secret.
+    TransientLeak,
 }
 
 impl ViolationClass {
-    /// Numeric class used in reports and fixtures (1, 2, 3).
+    /// Every class, in code order. SARIF rule tables and property tests
+    /// iterate this so a new class cannot be forgotten in one renderer.
+    pub const ALL: [ViolationClass; 4] = [
+        ViolationClass::SecretBranch,
+        ViolationClass::SecretAddress,
+        ViolationClass::VariableLatency,
+        ViolationClass::TransientLeak,
+    ];
+
+    /// Numeric class used in reports and fixtures (1, 2, 3, 4).
     pub fn code(self) -> u8 {
         match self {
             ViolationClass::SecretBranch => 1,
             ViolationClass::SecretAddress => 2,
             ViolationClass::VariableLatency => 3,
+            ViolationClass::TransientLeak => 4,
         }
     }
 
@@ -35,12 +52,13 @@ impl ViolationClass {
     ///
     /// # Panics
     ///
-    /// Panics on codes outside 1..=3.
+    /// Panics on codes outside 1..=4.
     pub fn from_code(code: u8) -> ViolationClass {
         match code {
             1 => ViolationClass::SecretBranch,
             2 => ViolationClass::SecretAddress,
             3 => ViolationClass::VariableLatency,
+            4 => ViolationClass::TransientLeak,
             _ => panic!("violation class code {code} out of range"),
         }
     }
@@ -51,6 +69,7 @@ impl ViolationClass {
             ViolationClass::SecretBranch => "CT-BRANCH",
             ViolationClass::SecretAddress => "CT-ADDR",
             ViolationClass::VariableLatency => "CT-LATENCY",
+            ViolationClass::TransientLeak => "CT-SPEC",
         }
     }
 
@@ -60,6 +79,9 @@ impl ViolationClass {
             ViolationClass::SecretBranch => "secret-tainted branch condition",
             ViolationClass::SecretAddress => "secret-tainted load/store address",
             ViolationClass::VariableLatency => "secret operand to variable-latency mul/div",
+            ViolationClass::TransientLeak => {
+                "secret-dependent transmitter reachable only transiently (Spectre-v1)"
+            }
         }
     }
 
@@ -68,7 +90,11 @@ impl ViolationClass {
         match self {
             // Branches and addresses leak through many structures at once
             // (paper Tables IV/V); latency leaks through one unit.
-            ViolationClass::SecretBranch | ViolationClass::SecretAddress => Severity::High,
+            // Transient transmitters leak through the same broad surface
+            // even though they never commit.
+            ViolationClass::SecretBranch
+            | ViolationClass::SecretAddress
+            | ViolationClass::TransientLeak => Severity::High,
             ViolationClass::VariableLatency => Severity::Medium,
         }
     }
@@ -101,6 +127,20 @@ impl Severity {
     }
 }
 
+/// How a CT-SPEC finding becomes reachable: the branch whose
+/// misprediction opens the transient window that executes the
+/// transmitter.
+#[derive(Clone, Debug)]
+pub struct TransientOrigin {
+    /// PC of the mispredicted conditional branch.
+    pub branch_pc: u64,
+    /// Disassembly of that branch.
+    pub branch_disasm: String,
+    /// Instructions executed transiently from the branch to the
+    /// transmitter (always within the speculation window bound).
+    pub depth: usize,
+}
+
 /// One constant-time violation found inside the iteration region.
 #[derive(Clone, Debug)]
 pub struct Violation {
@@ -114,6 +154,8 @@ pub struct Violation {
     pub disasm: String,
     /// Taint chain from source to violation, human-readable.
     pub witness: Vec<String>,
+    /// For CT-SPEC findings: the mispredicted branch opening the window.
+    pub transient: Option<TransientOrigin>,
 }
 
 /// The result of statically analyzing one kernel.
@@ -139,10 +181,30 @@ impl StaticReport {
         !self.violations.is_empty()
     }
 
+    /// True when any violation on an architecturally-reachable path was
+    /// found (classes 1–3).
+    pub fn has_architectural_violations(&self) -> bool {
+        self.violations.iter().any(|v| v.class != ViolationClass::TransientLeak)
+    }
+
+    /// True when the only findings are CT-SPEC (reachable transiently,
+    /// never architecturally).
+    pub fn is_transient_only(&self) -> bool {
+        self.is_leaky() && !self.has_architectural_violations()
+    }
+
+    /// True when any CT-SPEC finding exists.
+    pub fn has_transient_violations(&self) -> bool {
+        self.violations.iter().any(|v| v.class == ViolationClass::TransientLeak)
+    }
+
     /// Static verdict label used in baselines and the cross-validation
-    /// table.
+    /// table: `clean`, `leaky` (architectural findings), or
+    /// `leaky-transient` (CT-SPEC findings only).
     pub fn verdict(&self) -> &'static str {
-        if self.is_leaky() {
+        if self.is_transient_only() {
+            "leaky-transient"
+        } else if self.is_leaky() {
             "leaky"
         } else {
             "clean"
@@ -161,14 +223,24 @@ impl StaticReport {
             .field(
                 "violations",
                 Value::array(self.violations.iter().map(|v| {
-                    Value::object()
+                    let mut obj = Value::object()
                         .field("pc", format!("{:#x}", v.pc))
                         .field("class", v.class.code() as u64)
                         .field("rule", v.class.rule_id())
                         .field("severity", v.severity.label())
                         .field("disasm", v.disasm.as_str())
-                        .field("witness", Value::array(v.witness.iter().map(String::as_str)))
-                        .build()
+                        .field("witness", Value::array(v.witness.iter().map(String::as_str)));
+                    if let Some(t) = &v.transient {
+                        obj = obj.field(
+                            "transient",
+                            Value::object()
+                                .field("branch_pc", format!("{:#x}", t.branch_pc))
+                                .field("branch", t.branch_disasm.as_str())
+                                .field("depth", t.depth as u64)
+                                .build(),
+                        );
+                    }
+                    obj.build()
                 })),
             )
             .field("warnings", Value::array(self.warnings.iter().map(String::as_str)))
@@ -197,9 +269,9 @@ impl StaticReport {
     }
 }
 
-/// The three SARIF rules, one per violation class.
+/// The SARIF rules, one per violation class (including CT-SPEC).
 pub fn sarif_rules() -> Vec<sarif::Rule> {
-    [ViolationClass::SecretBranch, ViolationClass::SecretAddress, ViolationClass::VariableLatency]
+    ViolationClass::ALL
         .into_iter()
         .map(|c| sarif::Rule {
             id: c.rule_id().to_string(),
@@ -235,6 +307,14 @@ impl fmt::Display for StaticReport {
                 v.pc,
                 v.disasm
             )?;
+            if let Some(t) = &v.transient {
+                writeln!(
+                    f,
+                    "      reachable only transiently: mispredicted `{}` at {:#x} \
+                     ({} transient instructions deep)",
+                    t.branch_disasm, t.branch_pc, t.depth
+                )?;
+            }
             for hop in &v.witness {
                 writeln!(f, "      {hop}")?;
             }

@@ -1,0 +1,160 @@
+//! The speculative execution model behind CT-SPEC findings.
+//!
+//! A conditional branch that architecturally always goes one way still
+//! trains a real predictor, and a misprediction fetches, renames, and —
+//! until the squash lands — executes the other arm. Secret-dependent
+//! loads, stores, branches, or divides on that arm perturb the cache,
+//! LDQ/STQ, and predictor exactly like committed ones. This module
+//! computes, per instruction, whether it is reachable down such a
+//! wrong-path arm within a bounded *speculation window*:
+//!
+//! * the window opens at every conditional branch on an architecturally
+//!   reachable in-region path;
+//! * it extends along CFG successor edges for at most
+//!   [`SpecModel::depth`] instructions (the ROB bounds how much
+//!   wrong-path work can be in flight, so the default derives from
+//!   `CoreConfig::rob_entries`);
+//! * it is cut by speculation barriers ([`is_speculation_barrier`]):
+//!   `fence`, CSR accesses (serializing on BOOM — in particular the
+//!   `ITER_END` marker, so windows never escape the sampled region),
+//!   and traps.
+//!
+//! Sites covered by a window but *not* on any architecturally feasible
+//! in-region path are transient-only: violations there are reported as
+//! CT-SPEC, with the opening branch recorded as the witness.
+
+use crate::cfg::Cfg;
+use crate::taint::is_speculation_barrier;
+use microsampler_isa::Inst;
+
+/// Bound on how far a transient window extends past a mispredicted
+/// branch, in instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecModel {
+    /// Maximum wrong-path instructions in flight; 0 disables the
+    /// speculative pass entirely.
+    pub depth: usize,
+}
+
+impl Default for SpecModel {
+    /// Defaults to the MegaBoom ROB capacity (paper Table III).
+    fn default() -> SpecModel {
+        SpecModel { depth: 128 }
+    }
+}
+
+impl SpecModel {
+    /// Derives the window bound from a core configuration: the ROB caps
+    /// how many wrong-path instructions can be renamed before the squash.
+    pub fn from_config(cfg: &microsampler_sim::CoreConfig) -> SpecModel {
+        SpecModel { depth: cfg.rob_entries }
+    }
+
+    /// A model with the speculative pass switched off (`--no-spec`).
+    pub fn disabled() -> SpecModel {
+        SpecModel { depth: 0 }
+    }
+
+    /// True when the speculative pass runs.
+    pub fn enabled(&self) -> bool {
+        self.depth > 0
+    }
+}
+
+/// How one instruction became transiently reachable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecOrigin {
+    /// Instruction index of the conditional branch whose misprediction
+    /// opens the window.
+    pub branch_idx: usize,
+    /// Wrong-path instructions executed from the branch to this site
+    /// (1 = immediately after the branch).
+    pub depth: usize,
+}
+
+/// Computes the speculative cover: for each instruction, the first
+/// (lowest-index) in-region branch whose transient window reaches it.
+///
+/// Windows open at every conditional branch inside `arch_region` and
+/// follow *all* successor edges — the architecturally-taken arm is
+/// already covered by `arch_region`, so only dead-arm sites matter to
+/// the caller. Propagation is breadth-first per branch (shallowest
+/// depth wins for that branch), bounded by `model.depth`, and stops at
+/// speculation barriers, which are neither marked nor traversed.
+pub fn spec_cover(cfg: &Cfg, arch_region: &[bool], model: SpecModel) -> Vec<Option<SpecOrigin>> {
+    let n = cfg.sites.len();
+    let mut cover: Vec<Option<SpecOrigin>> = vec![None; n];
+    if !model.enabled() {
+        return cover;
+    }
+    for (b, site) in cfg.sites.iter().enumerate() {
+        if !arch_region[b] || !matches!(site.inst, Inst::Branch { .. }) {
+            continue;
+        }
+        // BFS from this branch's successors with a per-branch depth map,
+        // so a shorter path through a shared block is preferred.
+        let mut depth_here: Vec<Option<usize>> = vec![None; n];
+        let mut frontier: Vec<usize> = cfg.succs[b].clone();
+        let mut depth = 1usize;
+        while !frontier.is_empty() && depth <= model.depth {
+            let mut next = Vec::new();
+            for &i in &frontier {
+                if depth_here[i].is_some() || is_speculation_barrier(&cfg.sites[i].inst) {
+                    continue;
+                }
+                depth_here[i] = Some(depth);
+                if cover[i].is_none() {
+                    cover[i] = Some(SpecOrigin { branch_idx: b, depth });
+                }
+                next.extend(cfg.succs[i].iter().copied());
+            }
+            frontier = next;
+            depth += 1;
+        }
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_isa::asm::assemble;
+
+    fn cfg_of(src: &str) -> Cfg {
+        Cfg::build(&assemble(src).unwrap())
+    }
+
+    #[test]
+    fn window_covers_dead_arm_up_to_the_bound() {
+        let c = cfg_of(
+            "csrw 0x8c2, zero\nli t0, 1\nbnez t0, live\nli a0, 1\nli a1, 2\nli a2, 3\n\
+             live:\ncsrw 0x8c3, zero\necall\n",
+        );
+        let arch: Vec<bool> = c.in_region.clone();
+        let cover = spec_cover(&c, &arch, SpecModel { depth: 2 });
+        // bnez is index 2; dead arm starts at index 3.
+        assert!(cover[3].is_some(), "first dead-arm instruction inside the window");
+        assert_eq!(cover[3].unwrap().depth, 1);
+        assert!(cover[4].is_some());
+        assert!(cover[5].is_none(), "third dead-arm instruction is past depth 2");
+    }
+
+    #[test]
+    fn barriers_cut_the_window() {
+        let c = cfg_of(
+            "csrw 0x8c2, zero\nli t0, 1\nbnez t0, live\nfence\nli a0, 1\n\
+             live:\ncsrw 0x8c3, zero\necall\n",
+        );
+        let cover = spec_cover(&c, &c.in_region.clone(), SpecModel::default());
+        let fence = c.sites.iter().position(|s| matches!(s.inst, Inst::Fence)).unwrap();
+        assert!(cover[fence].is_none(), "the barrier itself is not transient work");
+        assert!(cover[fence + 1].is_none(), "nothing executes past the fence");
+    }
+
+    #[test]
+    fn disabled_model_covers_nothing() {
+        let c = cfg_of("csrw 0x8c2, zero\nli t0, 1\nbnez t0, l\nli a0, 1\nl:\necall\n");
+        let cover = spec_cover(&c, &c.in_region.clone(), SpecModel::disabled());
+        assert!(cover.iter().all(Option::is_none));
+    }
+}

@@ -371,9 +371,38 @@ pub fn transfer(inst: &Inst, pc: u64, state: &mut State, ctx: &mut Ctx<'_>) -> V
             };
             state.set(rd, v);
         }
-        Inst::Ecall | Inst::Ebreak | Inst::Fence => {}
+        Inst::Fence => {
+            // A fence is a speculation/ordering barrier, not a data
+            // operation: it kills no taint (memory contents are
+            // unchanged) but it terminates every transient window — the
+            // speculative pass treats it via `is_speculation_barrier`.
+        }
+        Inst::Ecall | Inst::Ebreak => {}
     }
     events
+}
+
+/// True for instructions younger wrong-path work cannot pass: `fence`
+/// (explicit speculation barrier) and every CSR access (serializing on
+/// BOOM — the pipeline drains before a CSR op issues, so no transient
+/// instruction survives past one). `ecall`/`ebreak` trap and likewise
+/// end speculation.
+pub fn is_speculation_barrier(inst: &Inst) -> bool {
+    matches!(inst, Inst::Fence | Inst::Csr { .. } | Inst::Ecall | Inst::Ebreak)
+}
+
+/// Evaluates a conditional branch's direction when both operands are
+/// `Const` in the given state: `Some(taken)` — the branch goes the same
+/// way on every architectural path, so the other arm is reachable only
+/// through a misprediction. Non-branches and unresolved operands return
+/// `None`.
+pub fn branch_direction(inst: &Inst, state: &State) -> Option<bool> {
+    if let Inst::Branch { op, rs1, rs2, .. } = *inst {
+        if let (AbsVal::Const(a), AbsVal::Const(b)) = (state.get(rs1), state.get(rs2)) {
+            return Some(interp::branch_taken(op, a, b));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

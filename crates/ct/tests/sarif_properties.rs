@@ -1,0 +1,109 @@
+//! Renderer invariants, property-tested over arbitrary report subsets:
+//! every SARIF document carries exactly one rule per violation class
+//! (CT-SPEC included), every emitted `ruleId` resolves against that rule
+//! table, and the lint JSON schema round-trips through `obs::json`.
+
+use microsampler_ct::{
+    analyze_program, sarif_document, LatencyModel, StaticReport, ViolationClass,
+};
+use microsampler_isa::asm::assemble;
+use microsampler_kernels::{fixtures, openssl::Primitive};
+use microsampler_obs::json;
+use proptest::prelude::*;
+
+/// Analyzes every fixture (gate self-test included) plus a few clean
+/// Table V primitives: a pool mixing all four violation classes with
+/// zero-finding reports.
+fn report_pool() -> Vec<(StaticReport, u64)> {
+    let mut pool = Vec::new();
+    for f in fixtures::all().into_iter().chain(std::iter::once(fixtures::gate_selftest())) {
+        let program = assemble(f.source).unwrap();
+        let base = program.text_base;
+        pool.push((analyze_program(f.name, &program, &f.spec, LatencyModel::default()), base));
+    }
+    for p in Primitive::all().into_iter().take(3) {
+        let program = assemble(&p.source()).unwrap();
+        let base = program.text_base;
+        pool.push((
+            analyze_program(p.name, &program, &p.secret_spec(), LatencyModel::default()),
+            base,
+        ));
+    }
+    pool
+}
+
+fn sarif_for(indices: &[usize]) -> json::Value {
+    let pool = report_pool();
+    let subset: Vec<(&StaticReport, u64)> =
+        indices.iter().map(|&i| (&pool[i % pool.len()].0, pool[i % pool.len()].1)).collect();
+    sarif_document(&subset)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_sarif_doc_has_one_rule_per_class(indices in prop::collection::vec(0usize..16, 0..6)) {
+        let doc = sarif_for(&indices);
+        let runs = doc.get("runs").and_then(|v| v.as_array()).unwrap();
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|v| v.get("driver"))
+            .and_then(|v| v.get("rules"))
+            .and_then(|v| v.as_array())
+            .unwrap();
+        let ids: Vec<&str> = rules.iter().filter_map(|r| r.get("id")?.as_str()).collect();
+        prop_assert_eq!(ids.len(), ViolationClass::ALL.len());
+        for c in ViolationClass::ALL {
+            prop_assert_eq!(
+                ids.iter().filter(|&&id| id == c.rule_id()).count(),
+                1,
+                "rule {} must appear exactly once",
+                c.rule_id()
+            );
+        }
+    }
+
+    #[test]
+    fn every_result_rule_id_resolves(indices in prop::collection::vec(0usize..16, 0..6)) {
+        let doc = sarif_for(&indices);
+        let runs = doc.get("runs").and_then(|v| v.as_array()).unwrap();
+        let rules = runs[0]
+            .get("tool")
+            .and_then(|v| v.get("driver"))
+            .and_then(|v| v.get("rules"))
+            .and_then(|v| v.as_array())
+            .unwrap();
+        let ids: Vec<&str> = rules.iter().filter_map(|r| r.get("id")?.as_str()).collect();
+        let results = runs[0].get("results").and_then(|v| v.as_array()).unwrap();
+        for r in results {
+            let rule_id = r.get("ruleId").and_then(|v| v.as_str()).unwrap();
+            prop_assert!(ids.contains(&rule_id), "unresolvable ruleId {}", rule_id);
+        }
+    }
+
+    #[test]
+    fn lint_json_round_trips_through_obs_json(indices in prop::collection::vec(0usize..16, 1..4)) {
+        let pool = report_pool();
+        for &i in &indices {
+            let (report, _) = &pool[i % pool.len()];
+            let value = report.to_json();
+            for rendered in [value.render_pretty(), value.render_compact()] {
+                let parsed = json::parse(&rendered).unwrap();
+                prop_assert_eq!(&parsed, &value, "round-trip changed {}", report.program);
+            }
+        }
+    }
+}
+
+#[test]
+fn spectre_findings_reach_sarif_as_ct_spec() {
+    let pool = report_pool();
+    let subset: Vec<(&StaticReport, u64)> = pool.iter().map(|(r, b)| (r, *b)).collect();
+    let doc = sarif_document(&subset);
+    let runs = doc.get("runs").and_then(|v| v.as_array()).unwrap();
+    let results = runs[0].get("results").and_then(|v| v.as_array()).unwrap();
+    let spec_results =
+        results.iter().filter(|r| r.get("ruleId").and_then(|v| v.as_str()) == Some("CT-SPEC"));
+    assert!(spec_results.count() >= 2, "both Spectre fixtures must emit CT-SPEC results");
+}

@@ -85,6 +85,13 @@ pub struct CoreConfig {
     /// pseudo-random weak state instead of uniformly weakly-not-taken —
     /// models undefined power-on / residual predictor state.
     pub bpred_random_init: Option<u64>,
+    /// When set, the gshare pattern history table starts in a seeded
+    /// *strongly* polarized state (counters 0 or 3): an adversarial
+    /// residual state that maximizes mispredictions — and therefore
+    /// transient wrong-path execution windows — on fresh history
+    /// contexts. Used by the speculative cross-validation dimension;
+    /// takes precedence over [`CoreConfig::bpred_random_init`].
+    pub bpred_adversarial_init: Option<u64>,
     /// When set, a seed-deterministic [`FaultPlan`](crate::FaultPlan)
     /// perturbs the core: spurious branch squashes, forced cache
     /// evictions, MSHR-stall windows, or a permanent LSU wedge. Off in
@@ -140,6 +147,7 @@ impl CoreConfig {
             prefetcher: PrefetcherKind::NextLine,
             fast_bypass: false,
             bpred_random_init: None,
+            bpred_adversarial_init: None,
             faults: None,
         }
     }
@@ -191,6 +199,7 @@ impl CoreConfig {
             prefetcher: PrefetcherKind::NextLine,
             fast_bypass: false,
             bpred_random_init: None,
+            bpred_adversarial_init: None,
             faults: None,
         }
     }
@@ -204,6 +213,14 @@ impl CoreConfig {
     /// Same configuration with a seeded random predictor initial state.
     pub fn with_random_bpred(mut self, seed: u64) -> CoreConfig {
         self.bpred_random_init = Some(seed);
+        self
+    }
+
+    /// Same configuration with a seeded adversarial (strongly polarized)
+    /// predictor initial state — the misprediction-maximizing residual
+    /// state the speculative cross-validation runs under.
+    pub fn with_adversarial_bpred(mut self, seed: u64) -> CoreConfig {
+        self.bpred_adversarial_init = Some(seed);
         self
     }
 

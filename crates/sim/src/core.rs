@@ -228,9 +228,10 @@ impl Core {
         Core {
             fetch_pc: program.entry,
             fetch_buffer: VecDeque::new(),
-            gshare: match cfg.bpred_random_init {
-                Some(seed) => Gshare::new_randomized(cfg.bpred_entries, seed),
-                None => Gshare::new(cfg.bpred_entries),
+            gshare: match (cfg.bpred_adversarial_init, cfg.bpred_random_init) {
+                (Some(seed), _) => Gshare::new_adversarial(cfg.bpred_entries, seed),
+                (None, Some(seed)) => Gshare::new_randomized(cfg.bpred_entries, seed),
+                (None, None) => Gshare::new(cfg.bpred_entries),
             },
             btb: Btb::new(cfg.btb_entries),
             ras: ReturnAddressStack::new(cfg.ras_entries),

@@ -53,6 +53,37 @@ impl Gshare {
         Gshare { table, history: 0, mask: entries as u64 - 1 }
     }
 
+    /// Creates a predictor whose counters start in a pseudo-random
+    /// *strongly* polarized state (0 or 3): every branch begins either
+    /// strongly-taken or strongly-not-taken, so roughly half of all
+    /// fresh history contexts mispredict twice before their counter
+    /// crosses over. This is the adversarial initial state the
+    /// speculative cross-validation drives the core with — it maximizes
+    /// wrong-path (transient) execution windows while staying
+    /// seed-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new_adversarial(entries: usize, seed: u64) -> Gshare {
+        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
+        let mut state = seed | 1;
+        let table = (0..entries)
+            .map(|_| {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                if state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 0 {
+                    0
+                } else {
+                    3
+                }
+            })
+            .collect();
+        Gshare { table, history: 0, mask: entries as u64 - 1 }
+    }
+
     fn index(&self, pc: u64) -> usize {
         (((pc >> 2) ^ self.history) & self.mask) as usize
     }
@@ -233,6 +264,18 @@ mod tests {
             g.repair(h, outcome);
         }
         assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");
+    }
+
+    #[test]
+    fn adversarial_init_is_polarized_and_deterministic() {
+        let g = Gshare::new_adversarial(256, 42);
+        let h = Gshare::new_adversarial(256, 42);
+        let strong: Vec<bool> = (0..256).map(|i| g.table[i] == 0 || g.table[i] == 3).collect();
+        assert!(strong.iter().all(|&s| s), "every counter starts saturated");
+        assert_eq!(g.table, h.table, "same seed, same state");
+        let taken = g.table.iter().filter(|&&c| c == 3).count();
+        assert!((64..192).contains(&taken), "roughly half polarized each way, got {taken}");
+        assert_ne!(g.table, Gshare::new_adversarial(256, 44).table, "seed matters");
     }
 
     #[test]

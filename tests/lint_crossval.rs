@@ -1,9 +1,15 @@
 //! Static × dynamic cross-validation end-to-end: the seeded-leaky
-//! fixtures land in `true-leaky`, the real primitives in `true-ct`, and
-//! every row of a mixed cross-validation report is explained.
+//! fixtures land in `true-leaky`, the real primitives in `true-ct`,
+//! every row of a mixed cross-validation report is explained, and the
+//! speculative dimension confirms the Spectre gadgets under adversarial
+//! predictor state while keeping the Table V primitives out of the
+//! confirmed cell.
 
-use microsampler_bench::lint::{lint_one, lint_static_all};
-use microsampler_core::{analyze, classify, CrossReport, CrossRow, CrossVerdict, TraceConfig};
+use microsampler_bench::lint::{lint_crossval, lint_one, lint_static_all};
+use microsampler_bench::Scale;
+use microsampler_core::{
+    analyze, classify, CrossReport, CrossRow, CrossVerdict, SpecVerdict, TraceConfig,
+};
 use microsampler_isa::asm::assemble;
 use microsampler_kernels::fixtures;
 use microsampler_kernels::openssl::Primitive;
@@ -83,4 +89,50 @@ fn every_cross_validation_row_is_explained() {
         json.get("rows").and_then(|v| v.as_array()).map(<[_]>::len),
         Some(report.rows.len())
     );
+}
+
+#[test]
+fn speculative_dimension_classifies_every_kernel() {
+    // The full classification table: all 27 Table V primitives plus every
+    // seeded-leaky fixture, each cross-checked along both the
+    // architectural and the speculative dimension.
+    let scale = Scale { primitive_trials: 48, ..Scale::default() };
+    let statics = lint_static_all();
+    let report = lint_crossval(&statics, &scale);
+    assert_eq!(report.rows.len(), Primitive::all().len() + fixtures::all().len());
+    for row in &report.rows {
+        // Every row carries the speculative dimension and an explanation.
+        let spec = row.spec_verdict.unwrap_or_else(|| panic!("{}: no spec verdict", row.name));
+        assert!(!spec.explanation().is_empty());
+        let is_spectre = row.name.starts_with("leaky_spectre");
+        if is_spectre {
+            // The acceptance cell: statically transient-only, dynamically
+            // confirmed under adversarial speculation.
+            assert_eq!(row.static_verdict, "clean", "{}: architecturally clean", row.name);
+            assert_eq!(row.spec_static, Some("transient"), "{}", row.name);
+            assert_eq!(
+                spec,
+                SpecVerdict::Confirmed,
+                "{}: Spectre gadget must be dynamically confirmed (adversarial run {:?}, \
+                 max V {:.3})",
+                row.name,
+                row.spec_dynamic,
+                row.spec_max_cramers_v
+            );
+        } else {
+            // Nothing else reports CT-SPEC at the default window, so no
+            // other row can reach the confirmed/not-expressed cells.
+            assert_eq!(row.spec_static, Some("clean"), "{}", row.name);
+            assert!(
+                !matches!(spec, SpecVerdict::Confirmed | SpecVerdict::NotExpressed),
+                "{}: statically spec-clean kernel landed in {spec:?}",
+                row.name
+            );
+        }
+    }
+    assert_eq!(report.spec_confirmed().count(), 2);
+    // The run-report JSON records the agreement.
+    let json = report.to_json();
+    assert_eq!(json.get("schema").and_then(|v| v.as_str()), Some("microsampler-crossval-v2"));
+    assert_eq!(json.get("spec_confirmed").and_then(|v| v.as_u64()), Some(2));
 }
