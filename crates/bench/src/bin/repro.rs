@@ -11,6 +11,10 @@
 //!            [--no-spec] [--trials N] [--seed N] [--threads N]
 //! repro profile [--all | <kernel>...] [--keys N] [--key-bytes N]
 //!               [--seed N] [--threads N] [--out FILE] [--trace-out FILE]
+//! repro serve --state DIR [--socket PATH] [--queue N] [--per-client N]
+//!             [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS]
+//! repro submit --socket PATH [--client NAME] [--kernel NAME] [--keys N]
+//!              [--key-bytes N] [--seed N] [--cancel JOB] [--status]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
@@ -98,6 +102,14 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("profile") {
         return profile_main(&args[1..]);
+    }
+    #[cfg(unix)]
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&args[1..]);
+    }
+    #[cfg(unix)]
+    if args.first().map(String::as_str) == Some("submit") {
+        return submit_main(&args[1..]);
     }
     let mut scale = Scale::default();
     let mut wanted: Vec<String> = Vec::new();
@@ -260,7 +272,9 @@ fn main() -> ExitCode {
 }
 
 fn fail(msg: &str) -> ! {
-    diag_error!("{msg}");
+    // Unconditional: a usage error must be visible even under
+    // MICROSAMPLER_LOG=off (which silences the diag sink entirely).
+    eprintln!("repro: {msg}");
     usage();
     std::process::exit(2)
 }
@@ -549,6 +563,210 @@ fn profile_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro serve --socket PATH --state DIR [--queue N] [--per-client N]
+/// [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS]
+/// [--threads N]`.
+///
+/// Runs the leakage-audit daemon until SIGTERM/SIGINT, then drains
+/// in-flight jobs and exits 0. Exit codes: 0 = clean shutdown,
+/// 1 = setup or drain failure, 2 = usage error.
+#[cfg(unix)]
+fn serve_main(args: &[String]) -> ExitCode {
+    use microsampler_bench::serve;
+    let mut opts = serve::ServeOptions::default();
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_path = |i: &mut usize, flag: &str| -> std::path::PathBuf {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a path after {flag}"))).into()
+        };
+        match args[i].as_str() {
+            "--socket" => socket = Some(take_path(&mut i, "--socket")),
+            "--state" => opts.state_dir = take_path(&mut i, "--state"),
+            "--queue" => match take_num(&mut i) {
+                0 => fail("--queue must be at least 1"),
+                n => opts.queue_cap = n,
+            },
+            "--per-client" => match take_num(&mut i) {
+                0 => fail("--per-client must be at least 1"),
+                n => opts.per_client = n,
+            },
+            "--job-timeout-ms" => {
+                opts.job_timeout = Some(Duration::from_millis(take_num(&mut i) as u64));
+            }
+            "--job-retries" => opts.job_retries = take_num(&mut i) as u32,
+            "--backoff-ms" => {
+                let base = Duration::from_millis(take_num(&mut i) as u64);
+                opts.backoff_base = base;
+                opts.backoff_cap = base.saturating_mul(16);
+            }
+            "--threads" => match take_num(&mut i) {
+                0 => fail("--threads must be at least 1"),
+                n => microsampler_par::set_threads(Some(n)),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown serve flag `{other}`")),
+        }
+        i += 1;
+    }
+    opts.socket = socket.unwrap_or_else(|| opts.state_dir.join("serve.sock"));
+    match serve::serve(opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro submit --socket PATH [--client NAME] [--kernel NAME]
+/// [--config mega|small] [--fast-bypass] [--keys N] [--key-bytes N]
+/// [--seed N] [--wedge K] [--max-cycles N] [--cancel JOB] [--status]`.
+///
+/// Submits one audit job to a running `repro serve` daemon (or cancels
+/// a job / queries status), echoing every streamed line to stdout.
+/// Exit codes: 0 = clean verdict (or ack), 3 = leaky verdict,
+/// 4 = quarantined, 5 = cancelled, 6 = busy rejection, 1 = connection
+/// or protocol error, 2 = usage error.
+#[cfg(unix)]
+fn submit_main(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let mut socket: Option<std::path::PathBuf> = None;
+    let mut request = Value::object().field("op", "submit");
+    let mut client = "cli".to_string();
+    let mut cancel_job: Option<String> = None;
+    let mut status = false;
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_str = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a value after {flag}"))).clone()
+        };
+        match args[i].as_str() {
+            "--socket" => socket = Some(take_str(&mut i, "--socket").into()),
+            "--client" => client = take_str(&mut i, "--client"),
+            "--kernel" => {
+                let name = take_str(&mut i, "--kernel");
+                if !ModexpVariant::ALL.iter().any(|v| v.name() == name) {
+                    let known: Vec<&str> = ModexpVariant::ALL.iter().map(|v| v.name()).collect();
+                    fail(&format!(
+                        "unknown kernel `{name}` (expected one of {})",
+                        known.join(", ")
+                    ));
+                }
+                request = request.field("kernel", name);
+            }
+            "--config" => {
+                let name = take_str(&mut i, "--config");
+                if name != "mega" && name != "small" {
+                    fail(&format!("unknown config `{name}` (expected mega or small)"));
+                }
+                request = request.field("config", name);
+            }
+            "--fast-bypass" => request = request.field("fast_bypass", true),
+            "--keys" => match take_num(&mut i) {
+                0 => fail("--keys must be at least 1"),
+                n => request = request.field("keys", n),
+            },
+            "--key-bytes" => match take_num(&mut i) {
+                0 => fail("--key-bytes must be at least 1"),
+                n => request = request.field("key_bytes", n),
+            },
+            "--seed" => request = request.field("seed", take_num(&mut i) as u64),
+            "--wedge" => request = request.field("wedge", take_num(&mut i)),
+            "--max-cycles" => request = request.field("max_cycles", take_num(&mut i) as u64),
+            "--cancel" => cancel_job = Some(take_str(&mut i, "--cancel")),
+            "--status" => status = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown submit flag `{other}`")),
+        }
+        i += 1;
+    }
+    let socket = socket.unwrap_or_else(|| fail("submit needs --socket PATH"));
+    let request = if status {
+        Value::object().field("op", "status").build()
+    } else if let Some(job) = cancel_job {
+        Value::object().field("op", "cancel").field("job", job).build()
+    } else {
+        request.field("client", client).build()
+    };
+    let mut stream = match UnixStream::connect(&socket) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("repro submit: cannot connect to {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = writeln!(stream, "{}", request.render_compact()) {
+        eprintln!("repro submit: cannot send the request: {e}");
+        return ExitCode::FAILURE;
+    }
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            eprintln!("repro submit: cannot clone the stream: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("repro submit: stream read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{line}");
+        let Ok(v) = json::parse(&line) else { continue };
+        if v.get("schema").and_then(Value::as_str) != Some("microsampler-serve-v1") {
+            continue;
+        }
+        match v.get("event").and_then(Value::as_str) {
+            Some("busy") => return ExitCode::from(6),
+            Some("error") => return ExitCode::FAILURE,
+            Some("status") | Some("cancel-ack") => return ExitCode::SUCCESS,
+            Some("verdict") => {
+                return match v.get("status").and_then(Value::as_str) {
+                    Some("done") => {
+                        if v.get("leaky").and_then(Value::as_bool) == Some(true) {
+                            ExitCode::from(3)
+                        } else {
+                            ExitCode::SUCCESS
+                        }
+                    }
+                    Some("quarantined") => ExitCode::from(4),
+                    Some("cancelled") => ExitCode::from(5),
+                    _ => ExitCode::FAILURE,
+                }
+            }
+            _ => {}
+        }
+    }
+    eprintln!("repro submit: the daemon closed the stream without a verdict");
+    ExitCode::FAILURE
+}
+
 /// Compares each result's static verdict against the checked-in baseline.
 ///
 /// The baseline records verdicts only — they are deterministic and
@@ -626,6 +844,15 @@ fn usage() {
         "       repro profile [--all | <kernel>...] [--keys N] [--key-bytes N] [--seed N] \
          [--threads N] [--out FILE] [--trace-out FILE]"
     );
+    eprintln!(
+        "       repro serve --state DIR [--socket PATH] [--queue N] [--per-client N] \
+         [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS] [--threads N]"
+    );
+    eprintln!(
+        "       repro submit --socket PATH [--client NAME] [--kernel NAME] \
+         [--config mega|small] [--fast-bypass] [--keys N] [--key-bytes N] [--seed N] \
+         [--wedge K] [--max-cycles N] [--cancel JOB] [--status]"
+    );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
     eprintln!(
@@ -669,6 +896,17 @@ fn usage() {
         "profile sweeps modexp kernels with the pipeline profiler and writes the \
          BENCH_sim.json throughput baseline (--out, default BENCH_sim.json); \
          --trace-out FILE exports a Chrome trace-event JSON (ui.perfetto.dev)"
+    );
+    eprintln!(
+        "serve runs the leakage-audit daemon on a unix socket: submitted jobs are \
+         WAL-logged, trial journals are content-addressed (resubmitting an \
+         unchanged job replays for free), kill -9 recovers bit-identically on \
+         restart, and SIGTERM drains in-flight jobs before exiting 0"
+    );
+    eprintln!(
+        "submit exit codes: 0 = clean verdict/ack, 3 = leaky, 4 = quarantined, \
+         5 = cancelled, 6 = busy (queue-full, client-quota, or shutting-down), \
+         1 = connection/protocol error, 2 = usage error"
     );
 }
 

@@ -10,6 +10,8 @@
 pub mod experiments;
 pub mod lint;
 pub mod profile;
+#[cfg(unix)]
+pub mod serve;
 pub mod sweep;
 
 use microsampler_core::{analyze, AnalysisReport};

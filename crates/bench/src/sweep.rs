@@ -23,7 +23,7 @@
 use microsampler_kernels::inputs::random_keys;
 use microsampler_kernels::modexp::{self, ModexpKernel, ModexpVariant};
 use microsampler_obs::{diag, diag_warn, json, Value};
-use microsampler_par::{FailureClass, IsolationPolicy, TrialOutcome};
+use microsampler_par::{CancelToken, FailureClass, IsolationPolicy, RunControl, TrialOutcome};
 use microsampler_sim::{
     CoreConfig, FaultConfig, IterationTrace, PipelineStats, TraceConfig, UnitTrace,
 };
@@ -66,6 +66,13 @@ pub struct SweepOptions {
     /// Per-trial cycle budget override (default: the kernel's own
     /// [`modexp::cycle_budget`]).
     pub max_cycles: Option<u64>,
+    /// Cooperative cancellation: once the token latches, trials that have
+    /// not started are skipped (not journaled) and counted under
+    /// [`SweepOutcome::cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// Per-sweep wall-clock deadline (`repro serve` job timeouts): trials
+    /// not started before it are skipped like cancelled ones.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl SweepOptions {
@@ -78,6 +85,8 @@ impl SweepOptions {
             || self.journal.is_some()
             || self.resume
             || self.max_cycles.is_some()
+            || self.cancel.is_some()
+            || self.deadline.is_some()
     }
 }
 
@@ -102,6 +111,9 @@ pub enum TrialEventKind {
     Restored,
     /// Exhausted its attempt budget and was dropped from the pool.
     Quarantined,
+    /// Skipped because the sweep was cancelled or hit its deadline; will
+    /// re-run on the next resume (never journaled as finished).
+    Cancelled,
 }
 
 /// One entry in the per-run trial event registry.
@@ -157,6 +169,7 @@ pub fn events_to_json() -> Value {
     Value::object()
         .field("completed", count(TrialEventKind::Completed))
         .field("restored", count(TrialEventKind::Restored))
+        .field("cancelled", count(TrialEventKind::Cancelled))
         .field("quarantined", Value::Array(quarantined))
         .build()
 }
@@ -183,6 +196,9 @@ pub struct SweepOutcome {
     pub completed: usize,
     /// Trials restored from the resume journal.
     pub restored: usize,
+    /// Trials skipped by cancellation or the sweep deadline (they remain
+    /// unjournaled, so a resume re-runs exactly these).
+    pub cancelled: usize,
     /// Trials dropped after exhausting their retries.
     pub quarantined: Vec<QuarantinedTrial>,
 }
@@ -285,6 +301,13 @@ pub struct JournalState {
 
 /// Loads a trial journal written by a previous sweep.
 ///
+/// A crash (or `kill -9`) mid-append can tear the final line: the file
+/// then ends with a partial record and no trailing newline. Such a torn
+/// tail is skipped with a diagnostic — the trial it belonged to simply
+/// re-runs on resume — while malformed *complete* lines (newline-
+/// terminated) remain hard errors, since they indicate corruption rather
+/// than an interrupted append.
+///
 /// # Errors
 ///
 /// Returns a message naming the offending line for unreadable files,
@@ -293,46 +316,60 @@ pub fn load_journal(path: &Path) -> Result<JournalState, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
     let mut state = JournalState::default();
+    let last_idx = text.lines().count().saturating_sub(1);
+    let torn_tail_possible = !text.is_empty() && !text.ends_with('\n');
     for (idx, line) in text.lines().enumerate() {
         let context = |msg: String| format!("journal {} line {}: {msg}", path.display(), idx + 1);
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let v = json::parse(line).map_err(|e| context(e.to_string()))?;
-        let schema = v.get("schema").and_then(Value::as_str);
-        if schema == Some(HEARTBEAT_SCHEMA) {
-            // Progress heartbeats interleave with trial lines; they carry
-            // no restorable state.
-            continue;
-        }
-        if schema != Some(TRIAL_SCHEMA) {
-            return Err(context(format!("expected schema {TRIAL_SCHEMA}")));
-        }
-        let id = v
-            .get("id")
-            .and_then(Value::as_str)
-            .ok_or_else(|| context("missing `id`".to_string()))?
-            .to_owned();
-        match v.get("status").and_then(Value::as_str) {
-            Some("completed") => {
-                let iterations = v
-                    .get("iterations")
-                    .and_then(Value::as_array)
-                    .ok_or_else(|| context("missing `iterations`".to_string()))?
-                    .iter()
-                    .map(iteration_from_json)
-                    .collect::<Result<Vec<_>, _>>()
-                    .map_err(context)?;
-                // Later lines win: a re-run trial supersedes its older
-                // journal entry.
-                state.completed.insert(id, iterations);
+        match parse_journal_line(line, &mut state) {
+            Ok(()) => {}
+            Err(msg) if torn_tail_possible && idx == last_idx => {
+                diag_warn!(
+                    "journal {} line {}: skipping torn trailing record \
+                     (crash mid-append?): {msg}",
+                    path.display(),
+                    idx + 1
+                );
             }
-            Some("quarantined") => {}
-            _ => return Err(context("missing or unknown `status`".to_string())),
+            Err(msg) => return Err(context(msg)),
         }
     }
     Ok(state)
+}
+
+/// Parses and applies one journal line to `state`.
+fn parse_journal_line(line: &str, state: &mut JournalState) -> Result<(), String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let schema = v.get("schema").and_then(Value::as_str);
+    if schema == Some(HEARTBEAT_SCHEMA) {
+        // Progress heartbeats interleave with trial lines; they carry
+        // no restorable state.
+        return Ok(());
+    }
+    if schema != Some(TRIAL_SCHEMA) {
+        return Err(format!("expected schema {TRIAL_SCHEMA}"));
+    }
+    let id = v.get("id").and_then(Value::as_str).ok_or("missing `id`")?.to_owned();
+    match v.get("status").and_then(Value::as_str) {
+        Some("completed") => {
+            let iterations = v
+                .get("iterations")
+                .and_then(Value::as_array)
+                .ok_or("missing `iterations`")?
+                .iter()
+                .map(iteration_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            // Later lines win: a re-run trial supersedes its older
+            // journal entry.
+            state.completed.insert(id, iterations);
+        }
+        Some("quarantined") => {}
+        _ => return Err("missing or unknown `status`".to_string()),
+    }
+    Ok(())
 }
 
 fn append_line(journal: &Mutex<File>, line: &str) {
@@ -503,58 +540,60 @@ pub fn run_modexp_sweep(
     let work: Vec<usize> = (0..n_keys).filter(|i| !restored.contains_key(i)).collect();
     let heartbeat = Heartbeat::new(variant.name(), work.len(), journal.as_ref());
     let max_attempts = opts.policy.max_attempts.max(1);
-    let outcomes = microsampler_par::map_isolated(&opts.policy, &work, |_, &i, attempt| {
-        // A trial finishes by completing OR by exhausting its retries;
-        // both must tick the heartbeat, or a quarantined trial leaves the
-        // progress count short of total forever. Failures tick only on
-        // their *final* attempt so retries don't inflate the count; a
-        // panic is caught above this closure, so its tick rides on a
-        // drop guard armed iff this panic would be terminal.
-        let panic_is_final = !opts.policy.retry_panics || attempt + 1 >= max_attempts;
-        let _panic_tick = heartbeat.panic_guard(panic_is_final);
-        let error_is_final = !opts.policy.retry_sim_errors || attempt + 1 >= max_attempts;
-        let fail = |message: String| {
-            if error_is_final {
-                heartbeat.tick();
+    let ctl = RunControl { cancel: opts.cancel.clone(), deadline: opts.deadline };
+    let outcomes =
+        microsampler_par::map_isolated_ctl(&opts.policy, &ctl, &work, |_, &i, attempt| {
+            // A trial finishes by completing OR by exhausting its retries;
+            // both must tick the heartbeat, or a quarantined trial leaves the
+            // progress count short of total forever. Failures tick only on
+            // their *final* attempt so retries don't inflate the count; a
+            // panic is caught above this closure, so its tick rides on a
+            // drop guard armed iff this panic would be terminal.
+            let panic_is_final = !opts.policy.retry_panics || attempt + 1 >= max_attempts;
+            let _panic_tick = heartbeat.panic_guard(panic_is_final);
+            let error_is_final = !opts.policy.retry_sim_errors || attempt + 1 >= max_attempts;
+            let fail = |message: String| {
+                if error_is_final {
+                    heartbeat.tick();
+                }
+                message
+            };
+            let wedge = opts.wedge_trial == Some(i);
+            // Re-seed per trial *and* per attempt: a retry explores a fresh
+            // fault schedule, while `--threads N` determinism holds because
+            // the schedule depends only on (seed, trial, attempt).
+            let faults = match opts.faults {
+                Some(fc) => {
+                    let mut fc = fc.for_trial(i as u64, attempt);
+                    fc.wedge = fc.wedge || wedge;
+                    Some(fc)
+                }
+                None if wedge => Some(FaultConfig { wedge: true, ..FaultConfig::default() }),
+                None => None,
+            };
+            let mut cfg = config.clone();
+            cfg.faults = faults;
+            let trace = TraceConfig { faults, ..TraceConfig::default() };
+            let key = &keys[i];
+            let mut machine = kernel
+                .machine(cfg, key, trace)
+                .map_err(|e| fail(format!("{}: {e}", variant.name())))?;
+            let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
+            let run = machine.run(budget).map_err(|e| fail(format!("{}: {e}", variant.name())))?;
+            let want = kernel.reference(key);
+            if run.exit_code != want {
+                return Err(fail(format!(
+                    "{} functional mismatch: got {}, want {want}",
+                    variant.name(),
+                    run.exit_code
+                )));
             }
-            message
-        };
-        let wedge = opts.wedge_trial == Some(i);
-        // Re-seed per trial *and* per attempt: a retry explores a fresh
-        // fault schedule, while `--threads N` determinism holds because
-        // the schedule depends only on (seed, trial, attempt).
-        let faults = match opts.faults {
-            Some(fc) => {
-                let mut fc = fc.for_trial(i as u64, attempt);
-                fc.wedge = fc.wedge || wedge;
-                Some(fc)
+            if let Some(j) = &journal {
+                append_line(j, &completed_line(&trial_id(i), &run.iterations));
             }
-            None if wedge => Some(FaultConfig { wedge: true, ..FaultConfig::default() }),
-            None => None,
-        };
-        let mut cfg = config.clone();
-        cfg.faults = faults;
-        let trace = TraceConfig { faults, ..TraceConfig::default() };
-        let key = &keys[i];
-        let mut machine = kernel
-            .machine(cfg, key, trace)
-            .map_err(|e| fail(format!("{}: {e}", variant.name())))?;
-        let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
-        let run = machine.run(budget).map_err(|e| fail(format!("{}: {e}", variant.name())))?;
-        let want = kernel.reference(key);
-        if run.exit_code != want {
-            return Err(fail(format!(
-                "{} functional mismatch: got {}, want {want}",
-                variant.name(),
-                run.exit_code
-            )));
-        }
-        if let Some(j) = &journal {
-            append_line(j, &completed_line(&trial_id(i), &run.iterations));
-        }
-        heartbeat.tick();
-        Ok(run.iterations)
-    });
+            heartbeat.tick();
+            Ok(run.iterations)
+        });
 
     let fresh: BTreeMap<usize, TrialOutcome<Vec<IterationTrace>>> =
         work.into_iter().zip(outcomes).collect();
@@ -562,6 +601,7 @@ pub fn run_modexp_sweep(
         iterations: Vec::new(),
         completed: 0,
         restored: restored.len(),
+        cancelled: 0,
         quarantined: Vec::new(),
     };
     for i in 0..n_keys {
@@ -580,6 +620,18 @@ pub fn run_modexp_sweep(
                     attempts: 0,
                 });
                 out.iterations.extend(iters.iter().cloned());
+            }
+            // Cancelled/deadline-skipped trials are neither journaled nor
+            // quarantined: a resume re-runs exactly this set.
+            Some(TrialOutcome::Failed(f)) if f.class == FailureClass::Cancelled => {
+                out.cancelled += 1;
+                record_event(TrialEvent {
+                    id: trial_id(i),
+                    kind: TrialEventKind::Cancelled,
+                    class: Some(f.class),
+                    message: Some(f.message.clone()),
+                    attempts: f.attempts,
+                });
             }
             Some(TrialOutcome::Failed(f)) => {
                 let q = QuarantinedTrial {
@@ -749,6 +801,88 @@ mod tests {
         assert_eq!(hb.done.load(Ordering::Relaxed), 1);
         hb.tick();
         assert_eq!(hb.done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn load_journal_skips_torn_trailing_line() {
+        // Simulate a kill -9 mid-append: a complete record followed by a
+        // truncated one with no trailing newline.
+        let iters = vec![sample_iteration(0)];
+        let full = completed_line("v/mega/kb4/s42/key0000", &iters);
+        let second = completed_line("v/mega/kb4/s42/key0001", &iters);
+        let torn = &second[..second.len() / 2];
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-torn-{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{full}\n{torn}")).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.completed.len(), 1, "the torn record is skipped, not fatal");
+        assert!(state.completed.contains_key("v/mega/kb4/s42/key0000"));
+    }
+
+    #[test]
+    fn load_journal_accepts_valid_final_line_without_newline() {
+        // A writer that never got to flush the trailing newline but wrote
+        // the full record: still restorable.
+        let iters = vec![sample_iteration(0)];
+        let line = completed_line("v/mega/kb4/s42/key0000", &iters);
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-nonewline-{}.jsonl", std::process::id()));
+        std::fs::write(&path, &line).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.completed.len(), 1);
+    }
+
+    #[test]
+    fn load_journal_still_rejects_torn_line_mid_file() {
+        // A truncated record *followed by more lines* is corruption, not
+        // an interrupted append — the newline after it proves the writer
+        // kept going.
+        let iters = vec![sample_iteration(0)];
+        let full = completed_line("v/mega/kb4/s42/key0000", &iters);
+        let torn = &full[..full.len() / 2];
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-midtorn-{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{torn}\n{full}\n")).unwrap();
+        let got = load_journal(&path);
+        std::fs::remove_file(&path).ok();
+        let err = got.expect_err("mid-file truncation is a hard error");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn cancelled_sweep_skips_unstarted_trials_without_journaling_them() {
+        let token = CancelToken::new();
+        token.cancel();
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-cancelled-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        reset_events();
+        let opts = SweepOptions {
+            cancel: Some(token),
+            journal: Some(path.clone()),
+            isolate: true,
+            ..SweepOptions::default()
+        };
+        let out = run_modexp_sweep(
+            ModexpVariant::V2Safe,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            3,
+            1,
+            42,
+            &opts,
+        );
+        let journal_text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        reset_events();
+        assert_eq!(out.cancelled, 3, "pre-cancelled sweep skips every trial");
+        assert_eq!(out.completed, 0);
+        assert!(out.quarantined.is_empty(), "cancellation is not quarantine");
+        assert!(
+            !journal_text.contains(TRIAL_SCHEMA),
+            "cancelled trials leave no journal records: {journal_text}"
+        );
     }
 
     #[test]

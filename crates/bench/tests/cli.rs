@@ -54,6 +54,24 @@ fn malformed_resume_journal_exits_with_usage_error() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A misspelled `repro profile` kernel must exit 2 and name every valid
+/// kernel on stderr — even with the diag sink silenced, since the
+/// usage-error path prints unconditionally.
+#[test]
+fn profile_unknown_kernel_exits_usage_error_listing_kernels() {
+    let out = repro()
+        .args(["profile", "no-such-kernel"])
+        .env("MICROSAMPLER_LOG", "off")
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown kernel `no-such-kernel`"), "{stderr}");
+    for name in ["SAM-Naive", "SAM-CT-CMOV", "ME-V1-CV", "ME-V1-MV", "ME-V2-Safe"] {
+        assert!(stderr.contains(name), "stderr must list {name}: {stderr}");
+    }
+}
+
 /// The acceptance scenario: a sweep containing an always-deadlocking
 /// trial completes with exit 0, reports the quarantined trial in the
 /// `--json` run report and the journal, and `--resume` re-runs only the

@@ -140,6 +140,17 @@ pub fn progress_rate(task: &str, done: usize, total: usize, trials_per_sec: f64,
     }
 }
 
+/// Emits a component liveness heartbeat, e.g.
+/// `[heartbeat] serve: 2 queued, 1 running, uptime 34s` (no-op unless
+/// progress output is enabled). Long-running daemons (`repro serve`) emit
+/// these so operators can distinguish "idle" from "wedged" without
+/// attaching a debugger.
+pub fn heartbeat(component: &str, detail: &str) {
+    if progress_enabled() {
+        write_line(&format!("[heartbeat] {component}: {detail}"));
+    }
+}
+
 /// Routes diagnostics into a shared buffer instead of stderr (tests).
 /// Pass `None` to restore stderr.
 pub fn set_capture(buffer: Option<Arc<Mutex<String>>>) {
@@ -252,6 +263,17 @@ mod tests {
         assert_eq!(out, "[progress] table5: 3/27\n");
         set_progress(false);
         let out = with_capture(|| progress("table5", 4, 27));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn heartbeat_is_gated_like_progress() {
+        let _l = LOCK.lock().unwrap();
+        set_progress(true);
+        let out = with_capture(|| heartbeat("serve", "2 queued, 1 running"));
+        assert_eq!(out, "[heartbeat] serve: 2 queued, 1 running\n");
+        set_progress(false);
+        let out = with_capture(|| heartbeat("serve", "idle"));
         assert!(out.is_empty());
     }
 

@@ -135,6 +135,14 @@ impl Value {
         }
     }
 
+    /// Boolean contents, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Unsigned integer contents, if a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {

@@ -49,7 +49,8 @@
 use microsampler_obs::{diag_warn, metrics, span};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -238,6 +239,71 @@ where
     })
 }
 
+/// Cooperative cancellation token shared between a pool run and its
+/// controller (e.g. a `repro serve` client session cancelling its job).
+///
+/// Cancellation is a latch: once [`cancel`](CancelToken::cancel) fires,
+/// every clone observes it and it never resets. Tasks already running are
+/// not interrupted — the pool simply stops *starting* work, so a
+/// cancelled [`map_isolated_ctl`] run drains quickly (bounded by the
+/// longest single task) and the skipped tasks report
+/// [`FailureClass::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Latches the token; all clones observe the cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](CancelToken::cancel) has been called on any
+    /// clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a pooled run stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The run's [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The run's deadline passed.
+    DeadlineExceeded,
+}
+
+/// Control surface for [`map_isolated_ctl`]: cooperative cancellation and
+/// an optional wall-clock deadline. The default (no token, no deadline)
+/// never stops a run early.
+#[derive(Clone, Debug, Default)]
+pub struct RunControl {
+    /// Cancel latch checked before each task and each retry attempt.
+    pub cancel: Option<CancelToken>,
+    /// Hard stop: tasks not *started* before this instant are skipped
+    /// with [`FailureClass::Cancelled`] (running tasks finish).
+    pub deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// Whether new work should stop being started, and why. Cancellation
+    /// wins over the deadline when both hold.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(StopReason::DeadlineExceeded);
+        }
+        None
+    }
+}
+
 /// How an isolated trial ultimately failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum FailureClass {
@@ -248,6 +314,9 @@ pub enum FailureClass {
     Panicked,
     /// The task completed but exceeded the policy's wall-clock budget.
     TimedOut,
+    /// The task never ran (or stopped retrying) because the run's
+    /// [`RunControl`] was cancelled or hit its deadline.
+    Cancelled,
 }
 
 impl FailureClass {
@@ -257,6 +326,7 @@ impl FailureClass {
             FailureClass::SimError => "sim-error",
             FailureClass::Panicked => "panicked",
             FailureClass::TimedOut => "timed-out",
+            FailureClass::Cancelled => "cancelled",
         }
     }
 }
@@ -333,6 +403,14 @@ pub struct IsolationPolicy {
     pub retry_panics: bool,
     /// Wall-clock budget per attempt (`None` = unlimited).
     pub timeout: Option<Duration>,
+    /// First retry delay of the deterministic exponential backoff
+    /// schedule ([`backoff_delay`](IsolationPolicy::backoff_delay)).
+    /// `Duration::ZERO` (the default) retries immediately, preserving the
+    /// legacy schedule.
+    pub backoff_base: Duration,
+    /// Upper bound on any single backoff delay. `Duration::ZERO` means
+    /// "uncapped" (bounded only by the attempt budget).
+    pub backoff_cap: Duration,
 }
 
 impl Default for IsolationPolicy {
@@ -343,6 +421,30 @@ impl Default for IsolationPolicy {
             retry_timeouts: true,
             retry_panics: false,
             timeout: None,
+            backoff_base: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+        }
+    }
+}
+
+impl IsolationPolicy {
+    /// The delay slept before retry number `attempt` (1 = first retry):
+    /// deterministic capped exponential, `base * 2^(attempt-1)` clamped
+    /// to `backoff_cap` when a cap is set. No jitter — sweeps must be
+    /// reproducible, and independent trials never thundering-herd a
+    /// shared resource here.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        if self.backoff_base.is_zero() || attempt == 0 {
+            return Duration::ZERO;
+        }
+        // 2^31 * base already overflows any sane budget; saturate the
+        // shift so huge attempt counts cannot wrap.
+        let factor = 1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX);
+        let delay = self.backoff_base.saturating_mul(factor);
+        if self.backoff_cap.is_zero() {
+            delay
+        } else {
+            delay.min(self.backoff_cap)
         }
     }
 }
@@ -360,13 +462,32 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// Runs one trial under the policy's attempt budget and classifies the
 /// outcome. Records `trial.retried` per retry and `trial.quarantined` on
 /// terminal failure.
-fn run_isolated<T, R, F>(policy: &IsolationPolicy, index: usize, item: &T, f: &F) -> TrialOutcome<R>
+fn run_isolated<T, R, F>(
+    policy: &IsolationPolicy,
+    ctl: &RunControl,
+    index: usize,
+    item: &T,
+    f: &F,
+) -> TrialOutcome<R>
 where
     F: Fn(usize, &T, u32) -> Result<R, String>,
 {
     let max_attempts = policy.max_attempts.max(1);
     let mut attempt = 0u32;
     loop {
+        if let Some(reason) = ctl.stop_reason() {
+            let message = match reason {
+                StopReason::Cancelled => format!("cancelled before attempt {}", attempt + 1),
+                StopReason::DeadlineExceeded => {
+                    format!("deadline exceeded before attempt {}", attempt + 1)
+                }
+            };
+            return TrialOutcome::Failed(TrialFailure {
+                class: FailureClass::Cancelled,
+                message,
+                attempts: attempt,
+            });
+        }
         let start = Instant::now();
         let caught = catch_unwind(AssertUnwindSafe(|| f(index, item, attempt)));
         let overtime = policy.timeout.is_some_and(|budget| start.elapsed() >= budget);
@@ -388,10 +509,16 @@ where
             FailureClass::SimError => policy.retry_sim_errors,
             FailureClass::TimedOut => policy.retry_timeouts,
             FailureClass::Panicked => policy.retry_panics,
+            // Cancellation returns above without classifying an attempt.
+            FailureClass::Cancelled => false,
         };
         if attempt < max_attempts && retryable {
             metrics::record("trial.retried", 1.0);
             diag_warn!("trial {index} attempt {attempt} failed ({class}): {message}; retrying");
+            let delay = policy.backoff_delay(attempt);
+            if !delay.is_zero() {
+                thread::sleep(delay);
+            }
             continue;
         }
         metrics::record("trial.quarantined", 1.0);
@@ -412,8 +539,29 @@ where
     R: Send,
     F: Fn(usize, &T, u32) -> Result<R, String> + Sync,
 {
+    map_isolated_ctl(policy, &RunControl::default(), items, f)
+}
+
+/// [`map_isolated`] under a [`RunControl`]: once the control's token is
+/// cancelled or its deadline passes, tasks that have not started (and
+/// retries that have not begun) are skipped with
+/// [`FailureClass::Cancelled`] instead of running. Tasks already
+/// executing finish normally, so the pooled results stay deterministic
+/// for every task that did run.
+pub fn map_isolated_ctl<T, R, F>(
+    policy: &IsolationPolicy,
+    ctl: &RunControl,
+    items: &[T],
+    f: F,
+) -> Vec<TrialOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, u32) -> Result<R, String> + Sync,
+{
     let policy = *policy;
-    map(items, move |i, item| run_isolated(&policy, i, item, &f))
+    let ctl = ctl.clone();
+    map(items, move |i, item| run_isolated(&policy, &ctl, i, item, &f))
 }
 
 /// The scoped pool core: `workers` threads steal chunked index ranges
@@ -670,6 +818,103 @@ mod tests {
         let sum = |name: &str| snap.iter().find(|(n, _)| n == name).map(|(_, a)| a.sum);
         assert_eq!(sum("trial.retried"), Some(1.0));
         assert_eq!(sum("trial.quarantined"), Some(1.0));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_exponential() {
+        let policy = IsolationPolicy {
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(60),
+            ..IsolationPolicy::default()
+        };
+        let schedule: Vec<Duration> = (0..=6).map(|a| policy.backoff_delay(a)).collect();
+        assert_eq!(
+            schedule,
+            vec![
+                Duration::ZERO,            // attempt 0 never sleeps
+                Duration::from_millis(10), // first retry: base
+                Duration::from_millis(20), // base * 2
+                Duration::from_millis(40), // base * 4
+                Duration::from_millis(60), // base * 8 clamps to the cap
+                Duration::from_millis(60),
+                Duration::from_millis(60),
+            ]
+        );
+        // No cap: pure exponential.
+        let uncapped = IsolationPolicy { backoff_cap: Duration::ZERO, ..policy };
+        assert_eq!(uncapped.backoff_delay(5), Duration::from_millis(160));
+        // Absurd attempt counts saturate instead of wrapping.
+        assert!(uncapped.backoff_delay(1000) >= uncapped.backoff_delay(999));
+        // The legacy default (no base) never sleeps.
+        assert_eq!(IsolationPolicy::default().backoff_delay(3), Duration::ZERO);
+    }
+
+    #[test]
+    fn map_isolated_sleeps_backoff_between_retries() {
+        let _l = LOCK.lock().unwrap();
+        let policy = IsolationPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(20),
+            ..IsolationPolicy::default()
+        };
+        let start = Instant::now();
+        let outcomes = with_threads(1, || {
+            map_isolated(&policy, &[0u64], |_, _, _| Err::<u64, String>("always fails".into()))
+        });
+        // Two retries: 20ms + 40ms of scheduled backoff.
+        assert!(start.elapsed() >= Duration::from_millis(60), "backoff must be slept");
+        assert_eq!(outcomes[0].failure().unwrap().attempts, 3);
+    }
+
+    #[test]
+    fn cancelled_token_skips_unstarted_tasks() {
+        let _l = LOCK.lock().unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl { cancel: Some(token.clone()), deadline: None };
+        let items: Vec<u64> = (0..8).collect();
+        let outcomes = with_threads(2, || {
+            map_isolated_ctl(&IsolationPolicy::default(), &ctl, &items, |_, &x, _| Ok(x))
+        });
+        for o in &outcomes {
+            let failure = o.failure().expect("pre-cancelled run never starts a task");
+            assert_eq!(failure.class, FailureClass::Cancelled);
+            assert_eq!(failure.attempts, 0, "no attempt was made");
+            assert!(failure.message.contains("cancelled"), "{}", failure.message);
+        }
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn mid_run_cancellation_completes_started_tasks_only() {
+        let _l = LOCK.lock().unwrap();
+        let token = CancelToken::new();
+        let ctl = RunControl { cancel: Some(token.clone()), deadline: None };
+        let items: Vec<u64> = (0..64).collect();
+        let outcomes = with_threads(1, || {
+            let token = token.clone();
+            map_isolated_ctl(&IsolationPolicy::default(), &ctl, &items, move |i, &x, _| {
+                if i == 2 {
+                    token.cancel();
+                }
+                Ok(x)
+            })
+        });
+        let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+        assert_eq!(completed, 3, "tasks after the cancelling one are skipped");
+        assert_eq!(outcomes[3].failure().unwrap().class, FailureClass::Cancelled);
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_message() {
+        let _l = LOCK.lock().unwrap();
+        let ctl = RunControl { cancel: None, deadline: Some(Instant::now()) };
+        let outcomes = with_threads(1, || {
+            map_isolated_ctl(&IsolationPolicy::default(), &ctl, &[1u64], |_, &x, _| Ok(x))
+        });
+        let failure = outcomes[0].failure().expect("expired deadline skips the task");
+        assert_eq!(failure.class, FailureClass::Cancelled);
+        assert!(failure.message.contains("deadline"), "{}", failure.message);
     }
 
     #[test]

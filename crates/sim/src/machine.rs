@@ -26,14 +26,39 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// Stable machine-readable class name, used by job-level failure
+    /// classification (trial journals, `repro serve` verdicts). Unlike
+    /// the [`Display`](fmt::Display) text, these identifiers are part of
+    /// the JSONL schema contract and must not change.
+    pub fn class(&self) -> &'static str {
+        match self {
+            SimError::OutOfCycles { .. } => "out-of-cycles",
+            SimError::Deadlock { .. } => "deadlock",
+        }
+    }
+
+    /// Whether a retry with a different fault schedule could plausibly
+    /// succeed. Both current classes qualify: fault injection (spurious
+    /// squashes, MSHR stalls) can push a run over its cycle budget or
+    /// wedge the pipeline, and retries are re-seeded per attempt.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SimError::OutOfCycles { .. } | SimError::Deadlock { .. })
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::OutOfCycles { limit } => {
-                write!(f, "simulation exceeded the cycle budget of {limit}")
+                write!(f, "[{}] simulation exceeded the cycle budget of {limit}", self.class())
             }
             SimError::Deadlock { cycle } => {
-                write!(f, "pipeline made no progress (deadlock detected at cycle {cycle})")
+                write!(
+                    f,
+                    "[{}] pipeline made no progress (deadlock detected at cycle {cycle})",
+                    self.class()
+                )
             }
         }
     }
@@ -467,6 +492,19 @@ mod tests {
             Err(SimError::OutOfCycles { limit }) => assert_eq!(limit, 500),
             other => panic!("expected OutOfCycles, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sim_error_class_names_are_stable_and_embedded_in_display() {
+        let out = SimError::OutOfCycles { limit: 9 };
+        let dead = SimError::Deadlock { cycle: 3 };
+        assert_eq!(out.class(), "out-of-cycles");
+        assert_eq!(dead.class(), "deadlock");
+        // The bracketed class prefix is what serve-side job classification
+        // greps out of stringified trial errors.
+        assert!(out.to_string().starts_with("[out-of-cycles]"), "{out}");
+        assert!(dead.to_string().starts_with("[deadlock]"), "{dead}");
+        assert!(out.is_retryable() && dead.is_retryable());
     }
 
     #[test]
