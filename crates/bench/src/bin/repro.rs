@@ -11,10 +11,14 @@
 //!            [--no-spec] [--trials N] [--seed N] [--threads N]
 //! repro profile [--all | <kernel>...] [--keys N] [--key-bytes N]
 //!               [--seed N] [--threads N] [--out FILE] [--trace-out FILE]
+//! repro audit [--trials N] [--seed N] [--threads N] [--faults SPEC]
+//!             [--full-budget] [--out FILE] [--stats-out FILE]
+//!             [--robustness] [--noise L1,L2,...] [--stability-out FILE]
 //! repro serve --state DIR [--socket PATH] [--queue N] [--per-client N]
 //!             [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS]
 //! repro submit --socket PATH [--client NAME] [--kernel NAME] [--keys N]
-//!              [--key-bytes N] [--seed N] [--cancel JOB] [--status]
+//!              [--key-bytes N] [--seed N] [--sequential] [--cancel JOB]
+//!              [--status]
 //! experiments: table1 table2 table3 table4 table5 table6 table7
 //!              fig2 fig3 fig4 fig5 fig6 fig7 fig9 fig10 sensitivity all
 //! ```
@@ -103,6 +107,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("profile") {
         return profile_main(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("audit") {
+        return audit_main(&args[1..]);
+    }
     #[cfg(unix)]
     if args.first().map(String::as_str) == Some("serve") {
         return serve_main(&args[1..]);
@@ -181,6 +188,10 @@ fn main() -> ExitCode {
                 sweep_opts.policy.max_attempts = take_num(&mut i) as u32 + 1;
                 sweep_requested = true;
             }
+            "--sequential" => {
+                sweep_opts.sequential = Some(microsampler_core::SeqConfig::default());
+                sweep_requested = true;
+            }
             "--trial-timeout" => {
                 sweep_opts.policy.timeout = Some(Duration::from_secs(take_num(&mut i) as u64));
                 sweep_requested = true;
@@ -225,6 +236,28 @@ fn main() -> ExitCode {
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             fail(&format!("cannot create --json directory {}: {e}", dir.display()));
+        }
+    }
+    // A journal written under different FaultConfig rates or fault seed
+    // holds trials from a different distribution; mixing them into this
+    // run would silently bias the statistics. Checked after the whole
+    // arg loop so a later `--faults` cannot dodge it.
+    if sweep_opts.resume {
+        if let Some(path) = &sweep_opts.journal {
+            if let Ok(state) = sweep::load_journal(path) {
+                if let Some(recorded) = &state.config_hash {
+                    let current = sweep::options_config_hash(&sweep_opts);
+                    if *recorded != current {
+                        fail(&format!(
+                            "cannot resume {}: the journal was written under a different \
+                             FaultConfig or fault seed (journal config {recorded}, current \
+                             {current}); restore the original --faults spec or start a fresh \
+                             journal",
+                            path.display()
+                        ));
+                    }
+                }
+            }
         }
     }
     if sweep_requested {
@@ -563,6 +596,185 @@ fn profile_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro audit [--trials N] [--seed N] [--threads N] [--faults SPEC]
+/// [--full-budget] [--out FILE] [--stats-out FILE] [--robustness]
+/// [--noise L1,L2,...] [--stability-out FILE]`.
+///
+/// Runs the 27-primitive Table V audit under anytime-valid early
+/// stopping (default) or the fixed budget (`--full-budget`), printing
+/// one row per primitive with its stopping point and writing the
+/// `microsampler-stats-bench-v1` trials-to-verdict benchmark. With
+/// `--robustness`, replays the audit in both modes across the fault
+/// noise ladder and writes per-primitive verdict-stability curves
+/// (`microsampler-stability-v1`).
+///
+/// Exit codes: 0 = all verdicts clean and stable, 3 = a leak was
+/// flagged (or, under `--robustness`, a primitive is UNSTABLE),
+/// 1 = a primitive failed to simulate, 2 = usage error.
+fn audit_main(args: &[String]) -> ExitCode {
+    use microsampler_bench::audit;
+    let mut opts = audit::AuditOptions::default();
+    let mut robustness = false;
+    let mut noise: Vec<u32> = audit::DEFAULT_NOISE_LEVELS.to_vec();
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut stats_out = std::path::PathBuf::from("BENCH_stats.json");
+    let mut stability_out = std::path::PathBuf::from("stability.json");
+    let mut i = 0;
+    while i < args.len() {
+        let take_num = |i: &mut usize| -> usize {
+            *i += 1;
+            args.get(*i)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("expected a number after the flag"))
+        };
+        let take_path = |i: &mut usize, flag: &str| -> std::path::PathBuf {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| fail(&format!("expected a path after {flag}"))).into()
+        };
+        match args[i].as_str() {
+            "--trials" => match take_num(&mut i) {
+                0 => fail("--trials must be at least 1"),
+                n => opts.trials = n,
+            },
+            "--seed" => opts.seed = take_num(&mut i) as u64,
+            "--threads" => match take_num(&mut i) {
+                0 => fail("--threads must be at least 1"),
+                n => microsampler_par::set_threads(Some(n)),
+            },
+            "--faults" => {
+                i += 1;
+                let spec =
+                    args.get(i).unwrap_or_else(|| fail("expected a fault spec after --faults"));
+                match parse_faults(spec) {
+                    Ok((faults, None)) => opts.faults = faults,
+                    Ok((_, Some(_))) => fail("audit does not take wedge= in --faults"),
+                    Err(e) => fail(&format!("invalid --faults spec `{spec}`: {e}")),
+                }
+            }
+            "--full-budget" => opts.early_stop = false,
+            "--robustness" => robustness = true,
+            "--noise" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| fail("expected levels after --noise"));
+                noise = spec
+                    .split(',')
+                    .map(|s| {
+                        s.parse::<u32>().unwrap_or_else(|_| {
+                            fail(&format!("invalid --noise level `{s}`: expected an integer"))
+                        })
+                    })
+                    .collect();
+                if noise.is_empty() {
+                    fail("--noise needs at least one level");
+                }
+            }
+            "--out" => out = Some(take_path(&mut i, "--out")),
+            "--stats-out" => stats_out = take_path(&mut i, "--stats-out"),
+            "--stability-out" => stability_out = take_path(&mut i, "--stability-out"),
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => fail(&format!("unknown audit flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let rows = audit::run_audit(&opts);
+    println!(
+        "\n== adaptive sequential audit ({} budget, {}) ==",
+        opts.trials,
+        if opts.early_stop { "early stop" } else { "full budget" }
+    );
+    println!(
+        "{:<34} {:>9} {:>5} {:>7} {:>11} {:>5} {:>8}",
+        "primitive", "verdict", "func", "maxV", "trials", "looks", "fallback"
+    );
+    for r in &rows {
+        println!(
+            "{:<34} {:>9} {:>5} {:>7.3} {:>5}/{:<5} {:>5} {:>8}",
+            r.name,
+            r.verdict.name(),
+            if r.functional_ok { "ok" } else { "FAIL" },
+            r.max_v,
+            r.trials_spent,
+            r.budget,
+            r.stop.looks.len(),
+            if r.stop.fallback { "batch" } else { "-" },
+        );
+        if let Some(e) = &r.error {
+            println!("{:<34} error: {e}", "");
+        }
+    }
+    let bench = audit::stats_bench_json(&rows);
+    println!(
+        "median trials-to-verdict: {} of {} ({}x)",
+        bench.get("median_trials_to_verdict").and_then(Value::as_u64).unwrap_or(0),
+        opts.trials,
+        bench.get("median_speedup").map_or(0.0, |v| v.as_f64().unwrap_or(0.0)),
+    );
+    if let Err(e) = std::fs::write(&stats_out, bench.render_pretty()) {
+        fail(&format!("cannot write {}: {e}", stats_out.display()));
+    }
+    println!("wrote {}", stats_out.display());
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, audit::audit_to_json(&rows).render_pretty()) {
+            fail(&format!("cannot write {}: {e}", path.display()));
+        }
+        println!("wrote {}", path.display());
+    }
+
+    let mut unstable = 0usize;
+    if robustness {
+        println!("\n== verdict stability across fault noise (per-64k levels {noise:?}) ==");
+        let curves = audit::robustness(&opts, &noise);
+        for c in &curves {
+            let points: Vec<String> = c
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{}:{}{}",
+                        p.noise,
+                        p.early.name(),
+                        if p.early == p.full {
+                            String::new()
+                        } else {
+                            format!("!={}", p.full.name())
+                        }
+                    )
+                })
+                .collect();
+            println!(
+                "{:<34} {:>9}  {}",
+                c.name,
+                if c.unstable { "UNSTABLE" } else { "stable" },
+                points.join("  ")
+            );
+        }
+        unstable = curves.iter().filter(|c| c.unstable).count();
+        if let Err(e) =
+            std::fs::write(&stability_out, audit::stability_to_json(&curves).render_pretty())
+        {
+            fail(&format!("cannot write {}: {e}", stability_out.display()));
+        }
+        println!("wrote {}", stability_out.display());
+    }
+
+    if rows.iter().any(|r| r.error.is_some() || !r.functional_ok) {
+        diag_error!("a primitive failed to simulate or diverged from its reference");
+        return ExitCode::FAILURE;
+    }
+    if unstable > 0 {
+        diag_error!("{unstable} primitives have UNSTABLE verdicts");
+        return ExitCode::from(3);
+    }
+    if rows.iter().any(|r| r.verdict == microsampler_core::SeqVerdict::Leaky) {
+        return ExitCode::from(3);
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro serve --socket PATH --state DIR [--queue N] [--per-client N]
 /// [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS]
 /// [--threads N]`.
@@ -631,7 +843,8 @@ fn serve_main(args: &[String]) -> ExitCode {
 
 /// `repro submit --socket PATH [--client NAME] [--kernel NAME]
 /// [--config mega|small] [--fast-bypass] [--keys N] [--key-bytes N]
-/// [--seed N] [--wedge K] [--max-cycles N] [--cancel JOB] [--status]`.
+/// [--seed N] [--wedge K] [--max-cycles N] [--sequential] [--cancel JOB]
+/// [--status]`.
 ///
 /// Submits one audit job to a running `repro serve` daemon (or cancels
 /// a job / queries status), echoing every streamed line to stdout.
@@ -693,6 +906,7 @@ fn submit_main(args: &[String]) -> ExitCode {
             "--seed" => request = request.field("seed", take_num(&mut i) as u64),
             "--wedge" => request = request.field("wedge", take_num(&mut i)),
             "--max-cycles" => request = request.field("max_cycles", take_num(&mut i) as u64),
+            "--sequential" => request = request.field("sequential", true),
             "--cancel" => cancel_job = Some(take_str(&mut i, "--cancel")),
             "--status" => status = true,
             "--help" | "-h" => {
@@ -845,13 +1059,18 @@ fn usage() {
          [--threads N] [--out FILE] [--trace-out FILE]"
     );
     eprintln!(
+        "       repro audit [--trials N] [--seed N] [--threads N] [--faults SPEC] \
+         [--full-budget] [--out FILE] [--stats-out FILE] [--robustness] \
+         [--noise L1,L2,...] [--stability-out FILE]"
+    );
+    eprintln!(
         "       repro serve --state DIR [--socket PATH] [--queue N] [--per-client N] \
          [--job-timeout-ms MS] [--job-retries N] [--backoff-ms MS] [--threads N]"
     );
     eprintln!(
         "       repro submit --socket PATH [--client NAME] [--kernel NAME] \
          [--config mega|small] [--fast-bypass] [--keys N] [--key-bytes N] [--seed N] \
-         [--wedge K] [--max-cycles N] [--cancel JOB] [--status]"
+         [--wedge K] [--max-cycles N] [--sequential] [--cancel JOB] [--status]"
     );
     eprintln!("experiments: table1-table7 fig2-fig10 sensitivity all");
     eprintln!("--json DIR writes a machine-readable run report per experiment");
@@ -862,7 +1081,21 @@ fn usage() {
     );
     eprintln!(
         "--journal FILE appends one JSONL record per finished trial; --resume FILE \
-         restores completed trials from a journal and re-runs only the missing ones"
+         restores completed trials from a journal and re-runs only the missing ones \
+         (refused with exit 2 if the journal's FaultConfig rates or fault seed differ \
+         from the current flags)"
+    );
+    eprintln!(
+        "--sequential judges every sweep against an anytime-valid confidence sequence \
+         and stops as soon as it closes, appending a microsampler-stop-v1 stopping \
+         trace to the journal"
+    );
+    eprintln!(
+        "audit runs the 27 Table V primitives under adaptive sequential early stopping \
+         (freed budget reflows to undecided primitives) and writes the \
+         microsampler-stats-bench-v1 trials-to-verdict benchmark; --robustness replays \
+         early-stop vs full-budget across --noise fault levels and writes \
+         microsampler-stability-v1 stability curves, exiting 3 on any UNSTABLE verdict"
     );
     eprintln!(
         "--retries N retries failing trials up to N times (default 1); \

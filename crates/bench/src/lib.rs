@@ -7,6 +7,7 @@
 //! keys and ~4096 iterations per case study); crank [`Scale`] up to
 //! approach paper scale.
 
+pub mod audit;
 pub mod experiments;
 pub mod lint;
 pub mod profile;

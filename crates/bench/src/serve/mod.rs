@@ -33,7 +33,7 @@ pub mod recovery;
 pub mod session;
 
 use crate::sweep::{self, SweepOptions};
-use microsampler_core::analyze;
+use microsampler_core::{analyze, SeqConfig, SeqVerdict};
 use microsampler_obs::{diag, diag_info, diag_warn, metrics, Value};
 use microsampler_par::IsolationPolicy;
 use queue::{JobHandle, JobSpec, JobState, WalWriter};
@@ -336,6 +336,7 @@ impl ServeState {
                 wedge_trial: job.spec.wedge_trial,
                 cancel: Some(job.cancel.clone()),
                 deadline: self.opts.job_timeout.map(|t| Instant::now() + t),
+                sequential: job.spec.sequential.then(SeqConfig::default),
                 ..SweepOptions::default()
             };
             sweep::reset_events();
@@ -382,11 +383,17 @@ impl ServeState {
                 return;
             }
             // The sweep finished (completed + restored + quarantined
-            // trials cover every key): analyze and publish the verdict.
+            // trials cover every key, or the confidence sequence closed
+            // and skipped the rest): analyze and publish the verdict.
             let report = analyze(&out.iterations);
+            let leaky = match out.stop.as_ref().map(|t| t.verdict) {
+                Some(SeqVerdict::Leaky) => true,
+                Some(SeqVerdict::Clean) => false,
+                _ => report.is_leaky(),
+            };
             let verdict = verdict_json(job, &report, &out);
             metrics::record("serve.job.duration_sec", started.elapsed().as_secs_f64());
-            self.finish(job, JobState::Done { leaky: report.is_leaky(), verdict });
+            self.finish(job, JobState::Done { leaky, verdict });
             return;
         }
     }
@@ -444,7 +451,10 @@ impl ServeState {
 /// Everything here is a pure function of the job spec and the pooled
 /// iterations — per-run accounting (how many trials were restored vs
 /// re-run) deliberately stays out, so an interrupted-and-recovered job
-/// renders the exact bytes an uninterrupted one does.
+/// renders the exact bytes an uninterrupted one does. Sequential jobs
+/// additionally carry the `microsampler-stop-v1` stopping trace, which
+/// is equally deterministic: a resumed sweep replays the journal through
+/// the same look schedule and latches the same stopping point.
 fn verdict_json(
     job: &JobHandle,
     report: &microsampler_core::AnalysisReport,
@@ -462,11 +472,20 @@ fn verdict_json(
                 .build()
         })
         .collect();
-    Value::object()
+    let leaky = match out.stop.as_ref().map(|t| t.verdict) {
+        Some(SeqVerdict::Leaky) => true,
+        Some(SeqVerdict::Clean) => false,
+        _ => report.is_leaky(),
+    };
+    let b = Value::object()
         .field("key", job.key.as_str())
         .field("kernel", job.spec.kernel.name())
-        .field("leaky", report.is_leaky())
-        .field("quarantined_trials", Value::Array(quarantined))
+        .field("leaky", leaky);
+    let b = match &out.stop {
+        Some(trace) => b.field("stop", trace.to_json(job.key.as_str())),
+        None => b,
+    };
+    b.field("quarantined_trials", Value::Array(quarantined))
         .field("report", report.to_json())
         .build()
 }

@@ -46,6 +46,10 @@ pub struct JobSpec {
     pub max_cycles: Option<u64>,
     /// Trial index to wedge (deliberate deadlock, for fault drills).
     pub wedge_trial: Option<usize>,
+    /// Run the sweep under the anytime-valid sequential analyzer: the
+    /// job completes as soon as the confidence sequence closes, and the
+    /// verdict carries a `microsampler-stop-v1` stopping trace.
+    pub sequential: bool,
 }
 
 impl Default for JobSpec {
@@ -59,6 +63,7 @@ impl Default for JobSpec {
             seed: 42,
             max_cycles: None,
             wedge_trial: None,
+            sequential: false,
         }
     }
 }
@@ -79,9 +84,11 @@ impl JobSpec {
     }
 
     /// Canonical JSON rendering (stable field order; also the WAL
-    /// `spec` payload).
+    /// `spec` payload). `sequential` is rendered only when set: the
+    /// content key of every pre-existing spec — and therefore every
+    /// journal on disk keyed by it — must not change under the default.
     pub fn to_json(&self) -> Value {
-        Value::object()
+        let b = Value::object()
             .field("kernel", self.kernel.name())
             .field("config", self.config.as_str())
             .field("fast_bypass", self.fast_bypass)
@@ -89,8 +96,12 @@ impl JobSpec {
             .field("key_bytes", self.key_bytes)
             .field("seed", self.seed)
             .field("max_cycles", self.max_cycles.map_or(Value::Null, Value::from))
-            .field("wedge", self.wedge_trial.map_or(Value::Null, |w| Value::from(w as u64)))
-            .build()
+            .field("wedge", self.wedge_trial.map_or(Value::Null, |w| Value::from(w as u64)));
+        if self.sequential {
+            b.field("sequential", true).build()
+        } else {
+            b.build()
+        }
     }
 
     /// Parses a spec from a submit request or WAL line. Missing optional
@@ -126,6 +137,9 @@ impl JobSpec {
         }
         spec.max_cycles = v.get("max_cycles").and_then(Value::as_u64);
         spec.wedge_trial = v.get("wedge").and_then(Value::as_u64).map(|w| w as usize);
+        if let Some(seq) = v.get("sequential").and_then(Value::as_bool) {
+            spec.sequential = seq;
+        }
         if spec.keys == 0 || spec.key_bytes == 0 {
             return Err("keys and key_bytes must be at least 1".to_string());
         }
@@ -433,9 +447,14 @@ mod tests {
             seed: 9,
             max_cycles: Some(50_000),
             wedge_trial: Some(3),
+            sequential: true,
         };
         let back = JobSpec::from_json(&spec.to_json()).unwrap();
         assert_eq!(back, spec);
+        assert!(
+            !JobSpec::default().to_json().render_compact().contains("sequential"),
+            "default rendering must stay byte-identical so existing journals keep their keys"
+        );
         assert!(JobSpec::from_json(&Value::object().field("kernel", "nope").build())
             .unwrap_err()
             .contains("ME-V2-Safe"));
@@ -460,6 +479,7 @@ mod tests {
             JobSpec { kernel: ModexpVariant::Naive, ..spec.clone() },
             JobSpec { max_cycles: Some(1), ..spec.clone() },
             JobSpec { wedge_trial: Some(0), ..spec.clone() },
+            JobSpec { sequential: true, ..spec.clone() },
         ];
         for other in variants {
             assert_ne!(other.content_key(), key, "{other:?} must re-address");

@@ -181,6 +181,20 @@ fn stream_job(state: &Arc<ServeState>, stream: &mut UnixStream, job: &Arc<JobHan
             }
         }
         if snapshot.is_terminal() {
+            // A terminal drain that leaves bytes behind means the
+            // journal ends in a torn record (a writer killed mid-append,
+            // e.g. a submit timeout). The partial line is deliberately
+            // not forwarded — the next resume repairs the tail and
+            // re-runs that trial — but the skip should be visible.
+            let trailing =
+                std::fs::metadata(&journal).map_or(0, |m| m.len().saturating_sub(offset));
+            if trailing > 0 {
+                diag_warn!(
+                    "serve: {} journal ends in a torn {trailing}-byte record; \
+                     skipped (the next resume repairs and re-runs it)",
+                    job.id
+                );
+            }
             let final_event = terminal_response(job, &snapshot);
             if let Err(e) = write_event(stream, &final_event) {
                 diag_warn!("serve: could not deliver the {} verdict: {e}", job.id);

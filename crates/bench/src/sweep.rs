@@ -20,6 +20,7 @@
 //! are restored from the journal and only the missing ones re-run;
 //! quarantined trials are retried.
 
+use microsampler_core::{SeqConfig, SequentialAnalyzer, StopTrace, STOP_SCHEMA};
 use microsampler_kernels::inputs::random_keys;
 use microsampler_kernels::modexp::{self, ModexpKernel, ModexpVariant};
 use microsampler_obs::{diag, diag_warn, json, Value};
@@ -40,6 +41,10 @@ pub const TRIAL_SCHEMA: &str = "microsampler-trial-v1";
 
 /// Schema tag on progress-heartbeat lines interleaved into the journal.
 pub const HEARTBEAT_SCHEMA: &str = "microsampler-heartbeat-v1";
+
+/// Schema tag on the journal-header line (first line of a fresh journal)
+/// carrying the sweep config hash that `--resume` validates.
+pub const HEADER_SCHEMA: &str = "microsampler-journal-header-v1";
 
 /// Harness-wide sweep configuration, installed by the `repro` CLI via
 /// [`set_options`] and consulted by
@@ -73,6 +78,12 @@ pub struct SweepOptions {
     /// Per-sweep wall-clock deadline (`repro serve` job timeouts): trials
     /// not started before it are skipped like cancelled ones.
     pub deadline: Option<std::time::Instant>,
+    /// Sequential (anytime) auditing: judge a confidence sequence at
+    /// doubling key-count look points and stop the sweep as soon as it
+    /// closes, recording the skipped tail as
+    /// [`TrialEventKind::EarlyStopped`] and the stopping trace in
+    /// [`SweepOutcome::stop`] (and the journal).
+    pub sequential: Option<SeqConfig>,
 }
 
 impl SweepOptions {
@@ -87,6 +98,7 @@ impl SweepOptions {
             || self.max_cycles.is_some()
             || self.cancel.is_some()
             || self.deadline.is_some()
+            || self.sequential.is_some()
     }
 }
 
@@ -114,6 +126,11 @@ pub enum TrialEventKind {
     /// Skipped because the sweep was cancelled or hit its deadline; will
     /// re-run on the next resume (never journaled as finished).
     Cancelled,
+    /// Skipped because the confidence sequence closed before this trial
+    /// was needed. Unlike cancellation this is a *finished* sweep: the
+    /// verdict is final and the trial only runs again if a later sweep
+    /// asks for more budget.
+    EarlyStopped,
 }
 
 /// One entry in the per-run trial event registry.
@@ -170,6 +187,7 @@ pub fn events_to_json() -> Value {
         .field("completed", count(TrialEventKind::Completed))
         .field("restored", count(TrialEventKind::Restored))
         .field("cancelled", count(TrialEventKind::Cancelled))
+        .field("early_stopped", count(TrialEventKind::EarlyStopped))
         .field("quarantined", Value::Array(quarantined))
         .build()
 }
@@ -199,8 +217,13 @@ pub struct SweepOutcome {
     /// Trials skipped by cancellation or the sweep deadline (they remain
     /// unjournaled, so a resume re-runs exactly these).
     pub cancelled: usize,
+    /// Trials skipped because the confidence sequence closed first
+    /// (sequential sweeps only).
+    pub early_stopped: usize,
     /// Trials dropped after exhausting their retries.
     pub quarantined: Vec<QuarantinedTrial>,
+    /// Stopping trace for sequential sweeps (`None` for fixed-budget).
+    pub stop: Option<StopTrace>,
 }
 
 fn unit_to_json(u: &UnitTrace) -> Value {
@@ -243,6 +266,42 @@ fn quarantined_line(q: &QuarantinedTrial) -> String {
         .field("class", q.class.name())
         .field("message", q.message.as_str())
         .field("attempts", q.attempts)
+        .build()
+        .render_compact()
+}
+
+/// Content hash of the sweep knobs that change what a journaled trial's
+/// *data means*: the [`FaultConfig`] rates and fault seed, which perturb
+/// the recorded traces themselves. Trial ids already pin the variant,
+/// core config, key width, key seed, and key index, and knobs that only
+/// decide whether a trial finishes (`wedge_trial`, `max_cycles`) leave
+/// completed records bit-identical — so raising `--keys`, changing
+/// thread counts, or lifting a wedge keeps the hash stable, while
+/// resuming a journal recorded under different fault noise is rejected
+/// rather than silently pooling incomparable trials.
+pub fn options_config_hash(opts: &SweepOptions) -> String {
+    let f = opts.faults.unwrap_or_default();
+    let canonical = Value::object()
+        .field("fault_seed", f.seed)
+        .field("squash_per_64k", f.squash_per_64k as u64)
+        .field("evict_per_64k", f.evict_per_64k as u64)
+        .field("mshr_stall_per_64k", f.mshr_stall_per_64k as u64)
+        .field("drop_row_per_64k", f.drop_row_per_64k as u64)
+        .field("bitflip_per_64k", f.bitflip_per_64k as u64)
+        .build()
+        .render_compact();
+    let k0 = 0x4d69_6372_6f53_616d; // "MicroSam", matching the serve job key
+    let k1 = 0x6a6f_7572_6e61_6c21; // "journal!"
+    format!("{:016x}", microsampler_stats::siphash24(k0, k1, canonical.as_bytes()))
+}
+
+/// One journal-header line (compact JSON, no trailing newline). Written
+/// as the first line of a fresh journal; resumes compare its config hash
+/// against the resuming sweep's.
+fn header_line(config_hash: &str) -> String {
+    Value::object()
+        .field("schema", HEADER_SCHEMA)
+        .field("config_hash", config_hash)
         .build()
         .render_compact()
 }
@@ -297,6 +356,10 @@ fn iteration_from_json(v: &Value) -> Result<IterationTrace, String> {
 pub struct JournalState {
     /// Completed trials: id → iteration snapshots.
     pub completed: BTreeMap<String, Vec<IterationTrace>>,
+    /// Config hash from the journal header, when the journal has one
+    /// (journals written before the header existed restore as `None`
+    /// and resume without validation).
+    pub config_hash: Option<String>,
 }
 
 /// Loads a trial journal written by a previous sweep.
@@ -349,6 +412,17 @@ fn parse_journal_line(line: &str, state: &mut JournalState) -> Result<(), String
         // no restorable state.
         return Ok(());
     }
+    if schema == Some(HEADER_SCHEMA) {
+        let hash =
+            v.get("config_hash").and_then(Value::as_str).ok_or("header missing `config_hash`")?;
+        state.config_hash = Some(hash.to_owned());
+        return Ok(());
+    }
+    if schema == Some(STOP_SCHEMA) {
+        // Stopping traces are statistical receipts for report consumers;
+        // they carry no restorable trial state.
+        return Ok(());
+    }
     if schema != Some(TRIAL_SCHEMA) {
         return Err(format!("expected schema {TRIAL_SCHEMA}"));
     }
@@ -370,6 +444,128 @@ fn parse_journal_line(line: &str, state: &mut JournalState) -> Result<(), String
         _ => return Err("missing or unknown `status`".to_string()),
     }
     Ok(())
+}
+
+/// Repairs a journal's final line before the file is reopened for append.
+///
+/// A crash, `kill -9`, or per-job timeout mid-append leaves the file
+/// without a trailing newline. Appending straight after that would glue
+/// the next record onto the remnant, corrupting *both* lines; instead, a
+/// complete-but-unterminated final record gets its newline back, and a
+/// truncated one is dropped with a warning — the same torn-tail rule
+/// [`load_journal`] applies on read, here made durable so the append
+/// path stays line-oriented.
+fn compact_torn_tail(path: &Path) {
+    let Ok(text) = std::fs::read_to_string(path) else { return };
+    if text.is_empty() || text.ends_with('\n') {
+        return;
+    }
+    let tail_start = text.rfind('\n').map_or(0, |i| i + 1);
+    let tail = text[tail_start..].trim();
+    let mut scratch = JournalState::default();
+    if !tail.is_empty() && parse_journal_line(tail, &mut scratch).is_ok() {
+        // The record is whole; only its newline was lost.
+        let done = File::options().append(true).open(path).and_then(|mut f| f.write_all(b"\n"));
+        if let Err(e) = done {
+            diag_warn!("journal {}: cannot terminate final record: {e}", path.display());
+        }
+        return;
+    }
+    diag_warn!(
+        "journal {}: dropping torn trailing record ({} bytes) left by an interrupted append",
+        path.display(),
+        text.len() - tail_start
+    );
+    let done = File::options().write(true).open(path).and_then(|f| f.set_len(tail_start as u64));
+    if let Err(e) = done {
+        diag_warn!("journal {}: cannot drop torn record: {e}", path.display());
+    }
+}
+
+/// Key-count look points for a sequential sweep over `n_keys` keys:
+/// doubling boundaries from `max(n_keys/8, 1)`, always ending at
+/// `n_keys`. An early-stop run and a full-budget run therefore share
+/// the same look prefix, which is what makes the verdict-identity
+/// guarantee checkable.
+pub fn look_points(n_keys: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    if n_keys == 0 {
+        return points;
+    }
+    let mut bound = (n_keys / 8).max(1);
+    while bound < n_keys {
+        points.push(bound);
+        bound *= 2;
+    }
+    points.push(n_keys);
+    points
+}
+
+/// Deterministic pooled-budget allocator for the sequential audit
+/// (`repro audit`): hands each still-undecided item doubling trial
+/// chunks out of a shared pool, so budget freed by early-stopped items
+/// reflows to the borderline ones.
+///
+/// Grants depend only on `(n_items, per_item)` and the sequence of
+/// [`retire`](AdaptiveAllocator::retire) calls between rounds — never on
+/// timing or thread count — so re-runs reproduce the same allocation. A
+/// run in which nothing retires grants every item exactly `per_item`
+/// trials (chunks of `per_item/8, per_item/8, per_item/4, per_item/2`),
+/// making the fixed-budget audit a special case of the adaptive one.
+pub struct AdaptiveAllocator {
+    chunk0: usize,
+    pool: usize,
+    spent: Vec<usize>,
+    alive: Vec<bool>,
+}
+
+impl AdaptiveAllocator {
+    /// A pool of `n_items * per_item` trials over `n_items` items.
+    pub fn new(n_items: usize, per_item: usize) -> AdaptiveAllocator {
+        AdaptiveAllocator {
+            chunk0: (per_item / 8).max(1),
+            pool: n_items * per_item,
+            spent: vec![0; n_items],
+            alive: vec![true; n_items],
+        }
+    }
+
+    /// Grants for one round, in item order: an item's next chunk doubles
+    /// its spend (`max(spent, chunk0)`), clamped to its fair share of
+    /// the remaining pool. Retired items (and an exhausted pool) grant 0.
+    pub fn round(&mut self) -> Vec<usize> {
+        let alive_count = self.alive.iter().filter(|a| **a).count();
+        let mut grants = vec![0; self.spent.len()];
+        if alive_count == 0 {
+            return grants;
+        }
+        let share = self.pool / alive_count;
+        for (i, spent) in self.spent.iter_mut().enumerate() {
+            if !self.alive[i] {
+                continue;
+            }
+            let grant = (*spent).max(self.chunk0).min(share).min(self.pool);
+            self.pool -= grant;
+            *spent += grant;
+            grants[i] = grant;
+        }
+        grants
+    }
+
+    /// Stops granting to item `i`; its unused share stays in the pool.
+    pub fn retire(&mut self, i: usize) {
+        self.alive[i] = false;
+    }
+
+    /// Trials granted to item `i` so far.
+    pub fn spent(&self, i: usize) -> usize {
+        self.spent[i]
+    }
+
+    /// Trials left in the shared pool.
+    pub fn remaining(&self) -> usize {
+        self.pool
+    }
 }
 
 fn append_line(journal: &Mutex<File>, line: &str) {
@@ -501,14 +697,27 @@ pub fn run_modexp_sweep(
         format!("{}/{}{fb}/kb{key_bytes}/s{seed}/key{i:04}", variant.name(), config.name)
     };
 
+    let sweep_id = format!("{}/{}{fb}/kb{key_bytes}/s{seed}", variant.name(), config.name);
+
     let mut restored: BTreeMap<usize, Vec<IterationTrace>> = BTreeMap::new();
     if opts.resume {
         if let Some(path) = &opts.journal {
             match load_journal(path) {
                 Ok(state) => {
-                    for i in 0..n_keys {
-                        if let Some(iters) = state.completed.get(&trial_id(i)) {
-                            restored.insert(i, iters.clone());
+                    let want = options_config_hash(opts);
+                    match &state.config_hash {
+                        Some(have) if *have != want => diag_warn!(
+                            "resume ignored: journal {} was recorded under fault config \
+                             hash {have}, this sweep is {want} (FaultConfig rates or \
+                             seed changed)",
+                            path.display()
+                        ),
+                        _ => {
+                            for i in 0..n_keys {
+                                if let Some(iters) = state.completed.get(&trial_id(i)) {
+                                    restored.insert(i, iters.clone());
+                                }
+                            }
                         }
                     }
                 }
@@ -516,96 +725,193 @@ pub fn run_modexp_sweep(
             }
         }
     }
-    for &i in restored.keys() {
-        record_event(TrialEvent {
-            id: trial_id(i),
-            kind: TrialEventKind::Restored,
-            class: None,
-            message: None,
-            attempts: 0,
-        });
-    }
 
-    let journal: Option<Mutex<File>> =
-        opts.journal.as_ref().and_then(|path| {
-            match File::options().create(true).append(true).open(path) {
-                Ok(f) => Some(Mutex::new(f)),
-                Err(e) => {
-                    diag_warn!("cannot open trial journal {}: {e}", path.display());
-                    None
+    let journal: Option<Mutex<File>> = opts.journal.as_ref().and_then(|path| {
+        compact_torn_tail(path);
+        match File::options().create(true).append(true).open(path) {
+            Ok(f) => {
+                let empty = f.metadata().map(|m| m.len() == 0).unwrap_or(false);
+                let file = Mutex::new(f);
+                if empty {
+                    append_line(&file, &header_line(&options_config_hash(opts)));
                 }
+                Some(file)
             }
-        });
+            Err(e) => {
+                diag_warn!("cannot open trial journal {}: {e}", path.display());
+                None
+            }
+        }
+    });
 
-    let work: Vec<usize> = (0..n_keys).filter(|i| !restored.contains_key(i)).collect();
-    let heartbeat = Heartbeat::new(variant.name(), work.len(), journal.as_ref());
+    let all_work: Vec<usize> = (0..n_keys).filter(|i| !restored.contains_key(i)).collect();
+    let heartbeat = Heartbeat::new(variant.name(), all_work.len(), journal.as_ref());
     let max_attempts = opts.policy.max_attempts.max(1);
     let ctl = RunControl { cancel: opts.cancel.clone(), deadline: opts.deadline };
-    let outcomes =
-        microsampler_par::map_isolated_ctl(&opts.policy, &ctl, &work, |_, &i, attempt| {
-            // A trial finishes by completing OR by exhausting its retries;
-            // both must tick the heartbeat, or a quarantined trial leaves the
-            // progress count short of total forever. Failures tick only on
-            // their *final* attempt so retries don't inflate the count; a
-            // panic is caught above this closure, so its tick rides on a
-            // drop guard armed iff this panic would be terminal.
-            let panic_is_final = !opts.policy.retry_panics || attempt + 1 >= max_attempts;
-            let _panic_tick = heartbeat.panic_guard(panic_is_final);
-            let error_is_final = !opts.policy.retry_sim_errors || attempt + 1 >= max_attempts;
-            let fail = |message: String| {
-                if error_is_final {
-                    heartbeat.tick();
-                }
-                message
-            };
-            let wedge = opts.wedge_trial == Some(i);
-            // Re-seed per trial *and* per attempt: a retry explores a fresh
-            // fault schedule, while `--threads N` determinism holds because
-            // the schedule depends only on (seed, trial, attempt).
-            let faults = match opts.faults {
-                Some(fc) => {
-                    let mut fc = fc.for_trial(i as u64, attempt);
-                    fc.wedge = fc.wedge || wedge;
-                    Some(fc)
-                }
-                None if wedge => Some(FaultConfig { wedge: true, ..FaultConfig::default() }),
-                None => None,
-            };
-            let mut cfg = config.clone();
-            cfg.faults = faults;
-            let trace = TraceConfig { faults, ..TraceConfig::default() };
-            let key = &keys[i];
-            let mut machine = kernel
-                .machine(cfg, key, trace)
-                .map_err(|e| fail(format!("{}: {e}", variant.name())))?;
-            let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
-            let run = machine.run(budget).map_err(|e| fail(format!("{}: {e}", variant.name())))?;
-            let want = kernel.reference(key);
-            if run.exit_code != want {
-                return Err(fail(format!(
-                    "{} functional mismatch: got {}, want {want}",
-                    variant.name(),
-                    run.exit_code
-                )));
+    let run_trial = |_: usize, &i: &usize, attempt: u32| -> Result<Vec<IterationTrace>, String> {
+        // A trial finishes by completing OR by exhausting its retries;
+        // both must tick the heartbeat, or a quarantined trial leaves the
+        // progress count short of total forever. Failures tick only on
+        // their *final* attempt so retries don't inflate the count; a
+        // panic is caught above this closure, so its tick rides on a
+        // drop guard armed iff this panic would be terminal.
+        let panic_is_final = !opts.policy.retry_panics || attempt + 1 >= max_attempts;
+        let _panic_tick = heartbeat.panic_guard(panic_is_final);
+        let error_is_final = !opts.policy.retry_sim_errors || attempt + 1 >= max_attempts;
+        let fail = |message: String| {
+            if error_is_final {
+                heartbeat.tick();
             }
-            if let Some(j) = &journal {
-                append_line(j, &completed_line(&trial_id(i), &run.iterations));
+            message
+        };
+        let wedge = opts.wedge_trial == Some(i);
+        // Re-seed per trial *and* per attempt: a retry explores a fresh
+        // fault schedule, while `--threads N` determinism holds because
+        // the schedule depends only on (seed, trial, attempt).
+        let faults = match opts.faults {
+            Some(fc) => {
+                let mut fc = fc.for_trial(i as u64, attempt);
+                fc.wedge = fc.wedge || wedge;
+                Some(fc)
             }
-            heartbeat.tick();
-            Ok(run.iterations)
-        });
+            None if wedge => Some(FaultConfig { wedge: true, ..FaultConfig::default() }),
+            None => None,
+        };
+        let mut cfg = config.clone();
+        cfg.faults = faults;
+        let trace = TraceConfig { faults, ..TraceConfig::default() };
+        let key = &keys[i];
+        let mut machine = kernel
+            .machine(cfg, key, trace)
+            .map_err(|e| fail(format!("{}: {e}", variant.name())))?;
+        let budget = opts.max_cycles.unwrap_or_else(|| modexp::cycle_budget(key_bytes));
+        let run = machine.run(budget).map_err(|e| fail(format!("{}: {e}", variant.name())))?;
+        let want = kernel.reference(key);
+        if run.exit_code != want {
+            return Err(fail(format!(
+                "{} functional mismatch: got {}, want {want}",
+                variant.name(),
+                run.exit_code
+            )));
+        }
+        if let Some(j) = &journal {
+            append_line(j, &completed_line(&trial_id(i), &run.iterations));
+        }
+        heartbeat.tick();
+        Ok(run.iterations)
+    };
 
-    let fresh: BTreeMap<usize, TrialOutcome<Vec<IterationTrace>>> =
-        work.into_iter().zip(outcomes).collect();
+    let mut fresh: BTreeMap<usize, TrialOutcome<Vec<IterationTrace>>> = BTreeMap::new();
+    let mut stop: Option<StopTrace> = None;
+    // First key index NOT covered by this sweep: n_keys unless the
+    // confidence sequence closed early.
+    let mut stop_bound = n_keys;
+    match opts.sequential {
+        None => {
+            let outcomes =
+                microsampler_par::map_isolated_ctl(&opts.policy, &ctl, &all_work, run_trial);
+            fresh.extend(all_work.iter().copied().zip(outcomes));
+        }
+        Some(cfg) => {
+            let mut analyzer = SequentialAnalyzer::new(cfg);
+            let mut next_key = 0usize;
+            let mut interrupted = false;
+            for bound in look_points(n_keys) {
+                let segment: Vec<usize> =
+                    (next_key..bound).filter(|i| !restored.contains_key(i)).collect();
+                let outcomes =
+                    microsampler_par::map_isolated_ctl(&opts.policy, &ctl, &segment, run_trial);
+                fresh.extend(segment.iter().copied().zip(outcomes));
+                // Pool this segment in key order — restored and fresh
+                // interleave exactly as an uninterrupted sweep would, so
+                // the look sequence (and therefore the stopping point) is
+                // identical on resume. Quarantined trials are excluded,
+                // as in the batch analysis over surviving trials.
+                for i in next_key..bound {
+                    if let Some(iters) = restored.get(&i) {
+                        analyzer.ingest_all(iters);
+                    } else {
+                        match fresh.get(&i) {
+                            Some(TrialOutcome::Completed(iters)) => analyzer.ingest_all(iters),
+                            Some(TrialOutcome::Failed(f)) if f.class == FailureClass::Cancelled => {
+                                interrupted = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                next_key = bound;
+                if interrupted {
+                    // A cancelled/deadline-skipped trial leaves this look
+                    // point with partial data; judging it would make the
+                    // stopping point depend on where the interruption
+                    // landed. Leave the sequence open for the resume.
+                    break;
+                }
+                if analyzer.look(bound as u64).is_decided() {
+                    break;
+                }
+            }
+            if next_key >= n_keys && !interrupted {
+                analyzer.resolve(n_keys as u64);
+            }
+            if analyzer.verdict().is_decided() {
+                stop_bound = next_key;
+            } else if next_key < n_keys {
+                // Interrupted mid-sequence: drain the remaining trials
+                // through the (latched) cancel gate so they are accounted
+                // as cancelled exactly like the fixed-budget path, and
+                // the resume re-runs precisely that set.
+                let rest: Vec<usize> =
+                    (next_key..n_keys).filter(|i| !restored.contains_key(i)).collect();
+                let outcomes =
+                    microsampler_par::map_isolated_ctl(&opts.policy, &ctl, &rest, run_trial);
+                fresh.extend(rest.iter().copied().zip(outcomes));
+            }
+            let trace = analyzer.trace().clone();
+            if !trace.looks.is_empty() {
+                if let Some(j) = &journal {
+                    append_line(j, &trace.to_json(&sweep_id).render_compact());
+                }
+            }
+            stop = Some(trace);
+        }
+    }
+
     let mut out = SweepOutcome {
         iterations: Vec::new(),
         completed: 0,
-        restored: restored.len(),
+        restored: 0,
         cancelled: 0,
+        early_stopped: 0,
         quarantined: Vec::new(),
+        stop,
     };
     for i in 0..n_keys {
+        if i >= stop_bound {
+            // Past the stopping point. Restored trials beyond it keep
+            // their journal records (a later full-budget resume can still
+            // use them) but are not pooled, so an early-stopped resume is
+            // bit-identical to an early-stopped fresh run.
+            out.early_stopped += 1;
+            record_event(TrialEvent {
+                id: trial_id(i),
+                kind: TrialEventKind::EarlyStopped,
+                class: None,
+                message: None,
+                attempts: 0,
+            });
+            continue;
+        }
         if let Some(iters) = restored.remove(&i) {
+            out.restored += 1;
+            record_event(TrialEvent {
+                id: trial_id(i),
+                kind: TrialEventKind::Restored,
+                class: None,
+                message: None,
+                attempts: 0,
+            });
             out.iterations.extend(iters);
             continue;
         }
@@ -907,6 +1213,272 @@ mod tests {
             assert!(got.unwrap_err().contains("line 1"), "{tag} error names the line");
         }
         assert!(load_journal(Path::new("/nonexistent/journal.jsonl")).is_err());
+    }
+
+    #[test]
+    fn allocator_with_no_stops_grants_exactly_the_fixed_budget() {
+        let mut alloc = AdaptiveAllocator::new(27, 96);
+        let mut per_round = Vec::new();
+        loop {
+            let grants = alloc.round();
+            if grants.iter().all(|&g| g == 0) {
+                break;
+            }
+            assert!(grants.iter().all(|&g| g == grants[0]), "symmetric items, equal grants");
+            per_round.push(grants[0]);
+        }
+        assert_eq!(per_round, vec![12, 12, 24, 48], "doubling chunks sum to per_item");
+        assert_eq!(alloc.remaining(), 0, "the pool is exactly exhausted");
+        for i in 0..27 {
+            assert_eq!(alloc.spent(i), 96);
+        }
+    }
+
+    #[test]
+    fn allocator_reflows_freed_budget_to_survivors() {
+        let mut alloc = AdaptiveAllocator::new(4, 96);
+        assert_eq!(alloc.round(), vec![12, 12, 12, 12]);
+        // Three items decide after the first chunk; their budget reflows.
+        alloc.retire(0);
+        alloc.retire(1);
+        alloc.retire(2);
+        let mut total = alloc.spent(3);
+        loop {
+            let grants = alloc.round();
+            assert_eq!(grants[0] + grants[1] + grants[2], 0, "retired items grant nothing");
+            if grants[3] == 0 {
+                break;
+            }
+            total += grants[3];
+        }
+        assert_eq!(total, alloc.spent(3));
+        assert!(
+            alloc.spent(3) > 96,
+            "the survivor runs past its own budget on reflowed trials: {}",
+            alloc.spent(3)
+        );
+        assert!(alloc.spent(3) + 3 * 12 <= 4 * 96, "reflow never exceeds the pool");
+    }
+
+    #[test]
+    fn look_points_double_and_always_cover_the_budget() {
+        assert_eq!(look_points(96), vec![12, 24, 48, 96]);
+        assert_eq!(look_points(16), vec![2, 4, 8, 16]);
+        assert_eq!(look_points(27), vec![3, 6, 12, 24, 27]);
+        assert_eq!(look_points(8), vec![1, 2, 4, 8]);
+        assert_eq!(look_points(1), vec![1]);
+        assert_eq!(look_points(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn config_hash_tracks_fault_noise_only() {
+        let base = SweepOptions::default();
+        let noisy = SweepOptions {
+            faults: Some(FaultConfig { evict_per_64k: 64, ..FaultConfig::default() }),
+            ..SweepOptions::default()
+        };
+        assert_ne!(options_config_hash(&base), options_config_hash(&noisy));
+        let reseeded = SweepOptions {
+            faults: Some(FaultConfig { seed: 7, ..FaultConfig::default() }),
+            ..SweepOptions::default()
+        };
+        assert_ne!(options_config_hash(&base), options_config_hash(&reseeded));
+        // Knobs that only decide *whether* a trial finishes leave
+        // completed records bit-identical, so they don't taint resumes.
+        let budget =
+            SweepOptions { max_cycles: Some(500), wedge_trial: Some(1), ..SweepOptions::default() };
+        assert_eq!(options_config_hash(&base), options_config_hash(&budget));
+        // An explicit all-zero FaultConfig injects nothing, like None.
+        let explicit =
+            SweepOptions { faults: Some(FaultConfig::default()), ..SweepOptions::default() };
+        assert_eq!(options_config_hash(&base), options_config_hash(&explicit));
+    }
+
+    #[test]
+    fn journal_header_round_trips_config_hash() {
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-header-{}.jsonl", std::process::id()));
+        std::fs::write(&path, format!("{}\n", header_line("deadbeef01234567"))).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.config_hash.as_deref(), Some("deadbeef01234567"));
+        assert!(state.completed.is_empty());
+    }
+
+    #[test]
+    fn load_journal_skips_stop_trace_lines() {
+        let iters = vec![sample_iteration(0)];
+        let text = format!(
+            "{}\n{}\n",
+            StopTrace::default().to_json("v/mega/kb4/s42").render_compact(),
+            completed_line("v/mega/kb4/s42/key0000", &iters),
+        );
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-stopline-{}.jsonl", std::process::id()));
+        std::fs::write(&path, text).unwrap();
+        let state = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(state.completed.len(), 1, "stop traces restore nothing");
+    }
+
+    #[test]
+    fn compact_torn_tail_repairs_unterminated_and_torn_tails() {
+        let iters = vec![sample_iteration(0)];
+        let full = completed_line("v/mega/kb4/s42/key0000", &iters);
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-compact-{}.jsonl", std::process::id()));
+
+        // A complete final record missing only its newline gets it back —
+        // appending straight after it would glue two records together.
+        std::fs::write(&path, &full).unwrap();
+        compact_torn_tail(&path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{full}\n"));
+
+        // A truncated final record is dropped back to the last newline.
+        std::fs::write(&path, format!("{full}\n{}", &full[..full.len() / 2])).unwrap();
+        compact_torn_tail(&path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{full}\n"));
+
+        // A torn sole line empties the file.
+        std::fs::write(&path, &full[..10]).unwrap();
+        compact_torn_tail(&path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+
+        // Terminated files are untouched.
+        std::fs::write(&path, format!("{full}\n")).unwrap();
+        compact_torn_tail(&path);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), format!("{full}\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_fault_config() {
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-hashgate-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        let noisy = SweepOptions {
+            isolate: true,
+            journal: Some(path.clone()),
+            faults: Some(FaultConfig { evict_per_64k: 16, ..FaultConfig::default() }),
+            ..SweepOptions::default()
+        };
+        reset_events();
+        let first = run_modexp_sweep(
+            ModexpVariant::V2Safe,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            2,
+            1,
+            42,
+            &noisy,
+        );
+        assert_eq!(first.completed, 2);
+
+        // Resuming under different fault noise must not pool the old trials.
+        reset_events();
+        let clean_resume = SweepOptions { faults: None, resume: true, ..noisy.clone() };
+        let second = run_modexp_sweep(
+            ModexpVariant::V2Safe,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            2,
+            1,
+            42,
+            &clean_resume,
+        );
+        assert_eq!(second.restored, 0, "mismatched fault config must not restore");
+        assert_eq!(second.completed, 2, "trials re-run under the new config");
+
+        // Resuming under the same fault config restores everything.
+        reset_events();
+        let same_resume = SweepOptions { resume: true, ..noisy.clone() };
+        let third = run_modexp_sweep(
+            ModexpVariant::V2Safe,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            2,
+            1,
+            42,
+            &same_resume,
+        );
+        std::fs::remove_file(&path).ok();
+        reset_events();
+        assert_eq!(third.restored, 2);
+        assert_eq!(third.completed, 0);
+    }
+
+    #[test]
+    fn sequential_sweep_stops_early_and_resume_reproduces_the_stopping_point() {
+        use microsampler_core::SeqVerdict;
+        let path = std::env::temp_dir()
+            .join(format!("microsampler-journal-seq-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "").unwrap();
+        let opts = SweepOptions {
+            isolate: true,
+            journal: Some(path.clone()),
+            sequential: Some(SeqConfig::default()),
+            ..SweepOptions::default()
+        };
+        reset_events();
+        let out = run_modexp_sweep(
+            ModexpVariant::Naive,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            16,
+            1,
+            42,
+            &opts,
+        );
+        let stop = out.stop.clone().expect("sequential sweeps carry a stop trace");
+        assert_eq!(stop.verdict, SeqVerdict::Leaky, "naive modexp is the known leak");
+        assert!(!stop.fallback, "an obvious leak closes the sequence, not the fallback");
+        assert!(out.early_stopped > 0, "the full key budget must not be needed");
+        assert_eq!(out.completed + out.early_stopped, 16);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(STOP_SCHEMA), "the journal records the stopping trace");
+
+        // A resume replays the journal and reproduces the same stopping
+        // point — same looks, same verdict, same pooled iterations —
+        // without running a single trial.
+        reset_events();
+        let resumed = run_modexp_sweep(
+            ModexpVariant::Naive,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            16,
+            1,
+            42,
+            &SweepOptions { resume: true, ..opts.clone() },
+        );
+        std::fs::remove_file(&path).ok();
+        reset_events();
+        assert_eq!(resumed.completed, 0, "nothing re-runs on resume");
+        assert_eq!(resumed.restored, out.completed);
+        assert_eq!(resumed.early_stopped, out.early_stopped);
+        let rstop = resumed.stop.expect("resumed sweep still carries a stop trace");
+        assert_eq!(rstop.verdict, stop.verdict);
+        assert_eq!(rstop.looks, stop.looks, "stopping points are bit-identical on resume");
+        assert_eq!(resumed.iterations, out.iterations);
+    }
+
+    #[test]
+    fn sequential_clean_sweep_matches_batch_verdict() {
+        let opts = SweepOptions {
+            isolate: true,
+            sequential: Some(SeqConfig::default()),
+            ..SweepOptions::default()
+        };
+        reset_events();
+        let out = run_modexp_sweep(
+            ModexpVariant::V2Safe,
+            &microsampler_sim::CoreConfig::mega_boom(),
+            8,
+            1,
+            42,
+            &opts,
+        );
+        reset_events();
+        let stop = out.stop.expect("sequential sweeps carry a stop trace");
+        assert_eq!(stop.verdict, microsampler_core::SeqVerdict::Clean);
+        // Whatever trials the sequence used, the verdict agrees with the
+        // batch rule over the pooled iterations.
+        let report = microsampler_core::analyze(&out.iterations);
+        assert!(!report.is_leaky());
     }
 
     #[test]

@@ -131,6 +131,63 @@ fn wedged_sweep_completes_quarantines_and_resumes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Resuming a journal recorded under different FaultConfig rates (or a
+/// different fault seed) would mix trials from two distributions into
+/// one statistic; the CLI must refuse with exit 2 and name the hashes.
+#[test]
+fn resume_with_changed_fault_config_exits_usage_error() {
+    let dir = tmp_dir("resume-mismatch");
+    let journal = dir.join("trials.jsonl");
+    let base = ["fig7", "--keys", "2", "--key-bytes", "1", "--threads", "2"];
+
+    let out = repro()
+        .args(base)
+        .args(["--faults", "evict=16,seed=9", "--journal"])
+        .arg(&journal)
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same journal, different eviction rate: refused before any trial runs.
+    let out = repro()
+        .args(base)
+        .args(["--faults", "evict=32,seed=9", "--resume"])
+        .arg(&journal)
+        .output()
+        .expect("repro runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a rate change must be refused; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("different"), "error explains the mismatch: {stderr}");
+
+    // A changed fault seed is the same hazard.
+    let out = repro()
+        .args(base)
+        .args(["--faults", "evict=16,seed=10", "--resume"])
+        .arg(&journal)
+        .output()
+        .expect("repro runs");
+    assert_eq!(out.status.code(), Some(2), "a fault-seed change must be refused");
+
+    // The matching spec still resumes cleanly.
+    let out = repro()
+        .args(base)
+        .args(["--faults", "evict=16,seed=9", "--resume"])
+        .arg(&journal)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "the original spec must resume; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn parse_report(path: &std::path::Path) -> Value {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));

@@ -183,6 +183,43 @@ fn sigterm_drains_in_flight_jobs_and_exits_zero() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A `--sequential` job completes as soon as its confidence sequence
+/// closes: the verdict carries the `microsampler-stop-v1` stopping
+/// trace, and a clearly leaky kernel stops before the full key budget.
+#[test]
+fn sequential_submit_stops_early_and_reports_the_stop_trace() {
+    let dir = tmp_dir("sequential");
+    let (mut daemon, socket) = start_daemon(&dir, &[]);
+    let out = repro()
+        .arg("submit")
+        .arg("--socket")
+        .arg(&socket)
+        .args(["--kernel", "SAM-Naive", "--keys", "16", "--key-bytes", "1"])
+        .args(["--seed", "42", "--sequential"])
+        .output()
+        .expect("submit runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "naive SAM is leaky; stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let verdict = json::parse(&extract_verdict(&out.stdout)).expect("verdict parses");
+    assert_eq!(verdict.get("leaky").and_then(Value::as_bool), Some(true));
+    let stop = verdict.get("stop").expect("sequential verdicts carry the stop trace");
+    assert_eq!(stop.get("schema").and_then(Value::as_str), Some("microsampler-stop-v1"));
+    assert_eq!(stop.get("verdict").and_then(Value::as_str), Some("leaky"));
+    let spent = stop.get("trials_spent").and_then(Value::as_u64).expect("trials_spent");
+    assert!(spent < 16, "the sequence must close before the full 16-key budget (spent {spent})");
+    assert!(
+        !stop.get("looks").unwrap().as_array().unwrap().is_empty(),
+        "the trace records its looks"
+    );
+    sigterm(&daemon);
+    wait_exit(&mut daemon, Duration::from_secs(60), "the daemon");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The acceptance scenario: `kill -9` mid-job, restart, and the
 /// recovered job's verdict is bit-identical to an uninterrupted run —
 /// including a wedged (deadlocking) trial that lands in quarantine on

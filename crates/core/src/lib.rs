@@ -43,6 +43,7 @@ mod analyzer;
 mod crossval;
 mod features;
 mod report;
+mod sequential;
 
 pub use analyzer::{analyze, Analyzer, EscalationOutcome};
 pub use crossval::{classify, classify_spec, CrossReport, CrossRow, CrossVerdict, SpecVerdict};
@@ -51,7 +52,8 @@ pub use features::{
     UniquenessReport,
 };
 pub use report::{association_to_json, AnalysisReport, UnitReport, DEGRADED_DROP_FRACTION};
+pub use sequential::{SequentialAnalyzer, StopLook, StopTrace, STOP_SCHEMA};
 
 // Re-exported so downstream users need only this crate for the common path.
 pub use microsampler_sim::{parse_text_log, IterationTrace, TraceConfig, UnitId};
-pub use microsampler_stats::{Association, Strength};
+pub use microsampler_stats::{Association, SeqConfig, SeqVerdict, StreamingAssociation, Strength};

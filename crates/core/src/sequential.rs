@@ -1,0 +1,437 @@
+//! Streaming (anytime) analysis: the batch [`Analyzer`](crate::Analyzer)
+//! pipeline restructured around incremental contingency tables so the
+//! audit can *peek* at the verdict after every batch of trials and stop
+//! as soon as the confidence sequence closes.
+//!
+//! A [`SequentialAnalyzer`] ingests [`IterationTrace`]s one at a time,
+//! maintaining the same 16-unit × {timed, timeless} association state the
+//! batch analyzer computes, plus the iteration/class/drop counters and
+//! pipeline sums. Its [`report`](SequentialAnalyzer::report) is
+//! bit-identical to [`analyze`](crate::analyze) over the same iterations
+//! in the same order (property-tested in `crates/stats` and
+//! `tests/sequential.rs`); its [`look`](SequentialAnalyzer::look) judges
+//! all 32 associations against a [`SeqConfig`] confidence sequence and
+//! appends one entry to the run's [`StopTrace`].
+//!
+//! The stop trace is the audit's statistical receipt: every look's
+//! sample size, confidence radius, extreme statistics, and verdict, in
+//! the stable `microsampler-stop-v1` JSON schema that run reports,
+//! `repro serve` job streams, and the robustness stability curves all
+//! embed.
+
+use crate::report::{AnalysisReport, UnitReport};
+use microsampler_obs::Value;
+use microsampler_sim::{IterationTrace, UnitId};
+use microsampler_stats::sequential::association_streaming;
+use microsampler_stats::{SeqConfig, SeqVerdict, StreamingAssociation};
+use std::collections::BTreeSet;
+
+/// Schema tag on serialized stopping traces.
+pub const STOP_SCHEMA: &str = "microsampler-stop-v1";
+
+/// One confidence-sequence check ("look") in a stopping trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StopLook {
+    /// 1-based look index (the error-spending schedule position).
+    pub look: u64,
+    /// Trials spent when this look happened (caller's budget unit).
+    pub trials: u64,
+    /// Iterations (= per-association observations) pooled so far.
+    pub n: u64,
+    /// Confidence radius around each V estimate at this look.
+    pub radius: f64,
+    /// Look-corrected p-value threshold for the leaky decision.
+    pub p_threshold: f64,
+    /// Largest Cramér's V across all monitored associations.
+    pub max_v: f64,
+    /// Largest bias-corrected Cramér's V across all monitored
+    /// associations (the statistic the clean decision bounds).
+    pub max_v_corrected: f64,
+    /// Smallest p-value across all monitored associations.
+    pub min_p: f64,
+    /// The anytime verdict at this look.
+    pub verdict: SeqVerdict,
+}
+
+/// The per-run stopping trace: every look plus the final outcome.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StopTrace {
+    /// Confidence-sequence parameters the looks were judged under.
+    pub config: SeqConfig,
+    /// Every look, in order.
+    pub looks: Vec<StopLook>,
+    /// The latched verdict (undecided until a look closes the sequence
+    /// or [`SequentialAnalyzer::resolve`] falls back to the batch rule).
+    pub verdict: SeqVerdict,
+    /// True when the verdict came from the fixed-budget batch rule at
+    /// budget exhaustion rather than from the confidence sequence.
+    pub fallback: bool,
+}
+
+impl StopTrace {
+    /// Trials spent when the verdict latched (the last recorded look),
+    /// or 0 if no look has happened.
+    pub fn trials_spent(&self) -> u64 {
+        self.looks.last().map_or(0, |l| l.trials)
+    }
+
+    /// Renders the trace in the stable `microsampler-stop-v1` schema.
+    pub fn to_json(&self, id: &str) -> Value {
+        Value::object()
+            .field("schema", STOP_SCHEMA)
+            .field("id", id)
+            .field("alpha", self.config.alpha)
+            .field("boundary_scale", self.config.boundary_scale)
+            .field("v_strong", self.config.v_strong)
+            .field("p_significant", self.config.p_significant)
+            .field("min_n", self.config.min_n)
+            .field("verdict", self.verdict.name())
+            .field("fallback", self.fallback)
+            .field("trials_spent", self.trials_spent())
+            .field(
+                "looks",
+                Value::Array(
+                    self.looks
+                        .iter()
+                        .map(|l| {
+                            Value::object()
+                                .field("look", l.look)
+                                .field("trials", l.trials)
+                                .field("n", l.n)
+                                .field("radius", l.radius)
+                                .field("p_threshold", l.p_threshold)
+                                .field("max_v", l.max_v)
+                                .field("max_v_corrected", l.max_v_corrected)
+                                .field("min_p", l.min_p)
+                                .field("verdict", l.verdict.name())
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .build()
+    }
+}
+
+/// Incremental counterpart of [`Analyzer`](crate::Analyzer): same
+/// analysis state, maintained per ingested iteration instead of
+/// recomputed from scratch, plus the confidence-sequence bookkeeping.
+#[derive(Clone, Debug)]
+pub struct SequentialAnalyzer {
+    config: SeqConfig,
+    // Indexed like UnitId::ALL; .0 is the timed table, .1 timeless.
+    tables: Vec<(StreamingAssociation, StreamingAssociation)>,
+    classes: BTreeSet<u64>,
+    iterations: usize,
+    dropped_cycles: u64,
+    sampled_cycles: u64,
+    pipeline: microsampler_sim::PipelineStats,
+    trace: StopTrace,
+}
+
+impl Default for SequentialAnalyzer {
+    fn default() -> SequentialAnalyzer {
+        SequentialAnalyzer::new(SeqConfig::default())
+    }
+}
+
+impl SequentialAnalyzer {
+    /// Creates an analyzer judging against `config`.
+    pub fn new(config: SeqConfig) -> SequentialAnalyzer {
+        SequentialAnalyzer {
+            config,
+            tables: UnitId::ALL
+                .iter()
+                .map(|_| (StreamingAssociation::new(), StreamingAssociation::new()))
+                .collect(),
+            classes: BTreeSet::new(),
+            iterations: 0,
+            dropped_cycles: 0,
+            sampled_cycles: 0,
+            pipeline: microsampler_sim::PipelineStats::default(),
+            trace: StopTrace { config, ..StopTrace::default() },
+        }
+    }
+
+    /// Streams one iteration in — the incremental mirror of what
+    /// [`Analyzer::contingency`](crate::Analyzer::contingency) records
+    /// for every unit, plus the report counters.
+    pub fn ingest(&mut self, it: &IterationTrace) {
+        for (i, &unit) in UnitId::ALL.iter().enumerate() {
+            let u = it.unit(unit);
+            self.tables[i].0.observe(it.label, u.hash);
+            self.tables[i].1.observe(it.label, u.hash_timeless);
+        }
+        self.classes.insert(it.label);
+        self.iterations += 1;
+        self.dropped_cycles += it.dropped_cycles;
+        self.sampled_cycles += it.sampled_cycles();
+        self.pipeline.add(&it.pipeline);
+    }
+
+    /// Streams a batch in, in order.
+    pub fn ingest_all(&mut self, iterations: &[IterationTrace]) {
+        for it in iterations {
+            self.ingest(it);
+        }
+    }
+
+    /// Iterations ingested so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The latched verdict (undecided until a look closes the sequence).
+    pub fn verdict(&self) -> SeqVerdict {
+        self.trace.verdict
+    }
+
+    /// The stopping trace accumulated so far.
+    pub fn trace(&self) -> &StopTrace {
+        &self.trace
+    }
+
+    /// Performs one confidence-sequence check over all 32 associations,
+    /// records it in the stopping trace, and latches the verdict once
+    /// decided. `trials` is the budget spent so far in the caller's
+    /// unit (it is recorded, not interpreted). Once latched, further
+    /// looks return the latched verdict without recording.
+    pub fn look(&mut self, trials: u64) -> SeqVerdict {
+        if self.trace.verdict.is_decided() {
+            return self.trace.verdict;
+        }
+        let assocs: Vec<microsampler_stats::Association> = self
+            .tables
+            .iter_mut()
+            .flat_map(|(timed, timeless)| [timed.current(), timeless.current()])
+            .collect();
+        let n = self.tables[0].0.n();
+        let look = self.trace.looks.len() as u64 + 1;
+        let verdict = self.config.judge(n, look, assocs.iter());
+        self.trace.looks.push(StopLook {
+            look,
+            trials,
+            n,
+            radius: self.config.radius(n, look),
+            p_threshold: self.config.p_threshold(look),
+            max_v: assocs.iter().map(|a| a.cramers_v).fold(0.0, f64::max),
+            max_v_corrected: assocs.iter().map(|a| a.cramers_v_corrected).fold(0.0, f64::max),
+            min_p: assocs.iter().map(|a| a.p_value).fold(1.0, f64::min),
+            verdict,
+        });
+        self.trace.verdict = verdict;
+        verdict
+    }
+
+    /// Resolves a still-open sequence at budget exhaustion by falling
+    /// back to the paper's fixed-budget rule on everything ingested:
+    /// leaky if any unit's association [`is_leak`] fires, clean
+    /// otherwise. Marks the trace as a fallback. No-op once decided.
+    ///
+    /// [`is_leak`]: microsampler_stats::Association::is_leak
+    pub fn resolve(&mut self, trials: u64) -> SeqVerdict {
+        if self.trace.verdict.is_decided() {
+            return self.trace.verdict;
+        }
+        let leaky = self
+            .tables
+            .iter_mut()
+            .any(|(timed, timeless)| timed.current().is_leak() || timeless.current().is_leak());
+        let verdict = if leaky { SeqVerdict::Leaky } else { SeqVerdict::Clean };
+        self.trace.verdict = verdict;
+        self.trace.fallback = true;
+        if let Some(last) = self.trace.looks.last_mut() {
+            if last.trials == trials {
+                last.verdict = verdict;
+                return verdict;
+            }
+        }
+        let n = self.tables[0].0.n();
+        let look = self.trace.looks.len() as u64 + 1;
+        let assocs: Vec<microsampler_stats::Association> = self
+            .tables
+            .iter_mut()
+            .flat_map(|(timed, timeless)| [timed.current(), timeless.current()])
+            .collect();
+        self.trace.looks.push(StopLook {
+            look,
+            trials,
+            n,
+            radius: self.config.radius(n, look),
+            p_threshold: self.config.p_threshold(look),
+            max_v: assocs.iter().map(|a| a.cramers_v).fold(0.0, f64::max),
+            max_v_corrected: assocs.iter().map(|a| a.cramers_v_corrected).fold(0.0, f64::max),
+            min_p: assocs.iter().map(|a| a.p_value).fold(1.0, f64::min),
+            verdict,
+        });
+        verdict
+    }
+
+    /// Builds the full [`AnalysisReport`] from the streaming state —
+    /// bit-identical to [`analyze`](crate::analyze) over the same
+    /// iterations in the same order.
+    pub fn report(&mut self) -> AnalysisReport {
+        let units = UnitId::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &unit)| UnitReport {
+                unit,
+                assoc: association_streaming(self.tables[i].0.table()),
+                assoc_timeless: association_streaming(self.tables[i].1.table()),
+            })
+            .collect();
+        AnalysisReport {
+            units,
+            iterations: self.iterations,
+            classes: self.classes.len(),
+            dropped_cycles: self.dropped_cycles,
+            sampled_cycles: self.sampled_cycles,
+            pipeline: self.pipeline,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microsampler_sim::{TraceConfig, Tracer};
+
+    fn synthetic(n_per_class: usize, leak_unit: Option<UnitId>) -> Vec<IterationTrace> {
+        let mut tracer = Tracer::new(TraceConfig::default());
+        tracer.scr_start(0);
+        for i in 0..2 * n_per_class {
+            let label = (i % 2) as u64;
+            tracer.iter_start(i as u64 * 10, label);
+            for c in 0..3u64 {
+                tracer.begin_cycle(i as u64 * 10 + c);
+                for unit in UnitId::ALL {
+                    let row = if Some(unit) == leak_unit {
+                        vec![0x1000 + label * 0x10, c]
+                    } else {
+                        vec![0x1000, c]
+                    };
+                    tracer.record_row(unit, &row);
+                }
+            }
+            tracer.iter_end(i as u64 * 10 + 3);
+        }
+        tracer.scr_end(u64::MAX);
+        tracer.iterations
+    }
+
+    #[test]
+    fn streaming_report_is_bit_identical_to_batch() {
+        for leak in [None, Some(UnitId::SqAddr)] {
+            let iters = synthetic(20, leak);
+            let batch = crate::analyze(&iters);
+            let mut seq = SequentialAnalyzer::default();
+            seq.ingest_all(&iters);
+            let streamed = seq.report();
+            assert_eq!(streamed, batch);
+            assert_eq!(streamed.to_json().render_compact(), batch.to_json().render_compact());
+        }
+    }
+
+    #[test]
+    fn leaky_kernel_closes_early() {
+        let iters = synthetic(32, Some(UnitId::SqAddr));
+        let mut seq = SequentialAnalyzer::default();
+        let mut spent = 0;
+        for chunk in iters.chunks(8) {
+            seq.ingest_all(chunk);
+            spent += chunk.len() as u64;
+            if seq.look(spent).is_decided() {
+                break;
+            }
+        }
+        assert_eq!(seq.verdict(), SeqVerdict::Leaky);
+        assert!(
+            seq.iterations() < iters.len(),
+            "a perfect split must stop early (used {})",
+            seq.iterations()
+        );
+        let trace = seq.trace();
+        assert!(!trace.fallback);
+        assert_eq!(trace.trials_spent(), spent);
+        assert_eq!(trace.looks.last().unwrap().verdict, SeqVerdict::Leaky);
+    }
+
+    #[test]
+    fn clean_kernel_closes_clean() {
+        let iters = synthetic(32, None);
+        let mut seq = SequentialAnalyzer::default();
+        let mut spent = 0;
+        for chunk in iters.chunks(8) {
+            seq.ingest_all(chunk);
+            spent += chunk.len() as u64;
+            if seq.look(spent).is_decided() {
+                break;
+            }
+        }
+        assert_eq!(seq.verdict(), SeqVerdict::Clean);
+    }
+
+    #[test]
+    fn verdict_latches_and_resolve_is_noop_once_decided() {
+        let iters = synthetic(32, Some(UnitId::RobPc));
+        let mut seq = SequentialAnalyzer::default();
+        seq.ingest_all(&iters);
+        let v = seq.look(64);
+        assert!(v.is_decided());
+        let looks_before = seq.trace().looks.len();
+        assert_eq!(seq.look(128), v, "latched verdict must not change");
+        assert_eq!(seq.resolve(128), v);
+        assert_eq!(seq.trace().looks.len(), looks_before, "no looks recorded after latch");
+        assert!(!seq.trace().fallback);
+    }
+
+    #[test]
+    fn resolve_falls_back_to_batch_rule() {
+        // Two iterations: V = 1 but p is weak — the sequence cannot
+        // close, and the batch rule says "not a leak".
+        let iters = synthetic(1, Some(UnitId::SqPc));
+        let mut seq = SequentialAnalyzer::default();
+        seq.ingest_all(&iters);
+        assert_eq!(seq.look(2), SeqVerdict::Undecided);
+        let v = seq.resolve(2);
+        assert_eq!(v, SeqVerdict::Clean);
+        assert!(seq.trace().fallback);
+        assert_eq!(seq.verdict(), SeqVerdict::Clean);
+        // The fallback folded into the existing look at the same spend.
+        assert_eq!(seq.trace().looks.len(), 1);
+    }
+
+    #[test]
+    fn stop_trace_json_schema() {
+        let iters = synthetic(16, Some(UnitId::SqAddr));
+        let mut seq = SequentialAnalyzer::default();
+        seq.ingest_all(&iters);
+        seq.look(32);
+        let v = seq.trace().to_json("table5/test");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(STOP_SCHEMA));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("table5/test"));
+        for field in
+            ["alpha", "boundary_scale", "v_strong", "p_significant", "min_n", "trials_spent"]
+        {
+            assert!(v.get(field).is_some(), "{field} missing");
+        }
+        assert!(SeqVerdict::from_name(v.get("verdict").unwrap().as_str().unwrap()).is_some());
+        let looks = v.get("looks").unwrap().as_array().unwrap();
+        assert_eq!(looks.len(), 1);
+        for field in [
+            "look",
+            "trials",
+            "n",
+            "radius",
+            "p_threshold",
+            "max_v",
+            "max_v_corrected",
+            "min_p",
+            "verdict",
+        ] {
+            assert!(looks[0].get(field).is_some(), "looks[0].{field} missing");
+        }
+        let text = v.render_compact();
+        assert_eq!(microsampler_obs::json::parse(&text).unwrap(), v);
+    }
+}

@@ -34,10 +34,12 @@
 mod association;
 mod contingency;
 pub mod gamma;
+pub mod sequential;
 mod siphash;
 
 pub use association::{Association, Strength, CRAMERS_V_STRONG, P_SIGNIFICANT};
 pub use contingency::ContingencyTable;
+pub use sequential::{SeqConfig, SeqVerdict, StreamingAssociation};
 pub use siphash::{siphash13, siphash24, SipHasher};
 
 /// Pearson's chi-squared statistic for a table of observed counts.

@@ -1,9 +1,10 @@
 //! Property tests for the statistical core: invariants that must hold for
 //! arbitrary contingency data.
 
+use microsampler_stats::sequential::association_streaming;
 use microsampler_stats::{
     chi_squared, chi_squared_p_value, cramers_v, cramers_v_corrected, gamma, siphash13,
-    ContingencyTable,
+    ContingencyTable, StreamingAssociation,
 };
 use proptest::prelude::*;
 
@@ -94,6 +95,64 @@ proptest! {
         let p1 = chi_squared_p_value(base, dof);
         let p2 = chi_squared_p_value(base + delta, dof);
         prop_assert!(p2 <= p1 + 1e-12, "p must not increase with chi2");
+    }
+
+    /// The incremental table and its streaming association must be
+    /// *bit-identical* (exact f64 equality, not approximate) to the
+    /// batch computation, no matter what order the observations arrive
+    /// in — the invariant that makes sequential looks trustworthy.
+    #[test]
+    fn streaming_association_is_bit_identical_to_batch_under_any_order(
+        obs in proptest::collection::vec((0u64..3, 0u64..8), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let table: ContingencyTable<u64, u64> = obs.iter().copied().collect();
+        let batch = table.association();
+        // Deterministic Fisher–Yates shuffle driven by the seeded LCG.
+        let mut shuffled = obs.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut streaming = StreamingAssociation::new();
+        for &(class, category) in &shuffled {
+            streaming.observe(class, category);
+        }
+        prop_assert_eq!(streaming.n(), batch.n);
+        prop_assert_eq!(streaming.current(), batch);
+        prop_assert_eq!(association_streaming(streaming.table()), batch);
+    }
+
+    /// Splitting the observations across 1, 2, or 4 shards (the worker
+    /// pool's thread counts) and merging must reproduce the unsharded
+    /// association bit-for-bit: merges are integer count sums, so the
+    /// final table — and every float derived from it — cannot depend on
+    /// the shard layout.
+    #[test]
+    fn sharded_merge_is_bit_identical_at_any_thread_count(
+        obs in proptest::collection::vec((0u64..4, 0u64..10), 1..300),
+        shards in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let mut whole = StreamingAssociation::new();
+        for &(class, category) in &obs {
+            whole.observe(class, category);
+        }
+        let expected = whole.current();
+        let mut parts: Vec<StreamingAssociation> =
+            (0..shards).map(|_| StreamingAssociation::new()).collect();
+        for (i, &(class, category)) in obs.iter().enumerate() {
+            parts[i % shards].observe(class, category);
+        }
+        let mut merged = StreamingAssociation::new();
+        for part in &parts {
+            merged.merge(part);
+        }
+        prop_assert_eq!(merged.n(), obs.len() as u64);
+        prop_assert_eq!(merged.current(), expected);
     }
 
     #[test]
